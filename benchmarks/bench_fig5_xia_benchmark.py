@@ -1,0 +1,42 @@
+"""Fig. 5: XIA substrate benchmark (also the calibration check).
+
+Paper: wired TCP 95 / Xstream 66 / XChunkP 56 Mbps;
+       802.11n TCP 28 / Xstream 22 / XChunkP 19 Mbps.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import render_table
+from repro.experiments.xia_benchmark import run_all
+
+
+def test_fig5_xia_benchmark(benchmark):
+    points = run_once(benchmark, run_all)
+
+    rows = [
+        (p.segment, p.protocol, p.throughput_bps / 1e6, p.paper_mbps)
+        for p in points
+    ]
+    print()
+    print(render_table(
+        "Fig. 5: 10 MB transfer throughput",
+        ("segment", "protocol", "measured (Mbps)", "paper (Mbps)"),
+        rows,
+    ))
+
+    by_key = {(p.segment, p.protocol): p.throughput_bps / 1e6 for p in points}
+    # Ordering within each segment: TCP > Xstream > XChunkP.
+    for segment in ("wired", "wireless"):
+        assert (
+            by_key[(segment, "linux-tcp")]
+            > by_key[(segment, "xstream")]
+            > by_key[(segment, "xchunkp")]
+        )
+    # Wired beats wireless for every protocol.
+    for protocol in ("linux-tcp", "xstream", "xchunkp"):
+        assert by_key[("wired", protocol)] > by_key[("wireless", protocol)]
+    # Calibration: within 20% of every paper bar.
+    for point in points:
+        measured = point.throughput_bps / 1e6
+        assert abs(measured - point.paper_mbps) / point.paper_mbps < 0.20, (
+            point.segment, point.protocol, measured, point.paper_mbps,
+        )

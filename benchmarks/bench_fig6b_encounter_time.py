@@ -1,0 +1,20 @@
+"""Fig. 6(b): performance gain vs encounter time (3/4/12 s).
+
+Paper: 1.55x at 3 s rising to 1.77x at 12 s — longer encounters mean
+fewer active-session migrations, so more airtime turns into content.
+"""
+
+from benchmarks.conftest import run_once, strict_shapes
+from repro.experiments.microbench import sweep_encounter_time
+
+
+def test_fig6b_encounter_time(benchmark, profile):
+    series = run_once(benchmark, lambda: sweep_encounter_time(profile))
+    print()
+    print(series.render())
+
+    for row in series.rows:
+        assert row.gain > 1.0, (row.label, row.gain)
+    if strict_shapes(profile):
+        # Gain rises with encounter time (3 s -> 12 s).
+        assert series.rows[-1].gain > series.rows[0].gain

@@ -1,0 +1,22 @@
+"""Fig. 6(c): performance gain vs disconnection time (8/32/100 s).
+
+Paper: roughly flat ~1.7x — the VNF finishes staging well within even
+the shortest gap, so longer gaps do not change the gain.
+"""
+
+from benchmarks.conftest import run_once, strict_shapes
+from repro.experiments.microbench import sweep_disconnection_time
+
+
+def test_fig6c_disconnection_time(benchmark, profile):
+    series = run_once(benchmark, lambda: sweep_disconnection_time(profile))
+    print()
+    print(series.render())
+
+    for row in series.rows:
+        assert row.gain > 1.0, (row.label, row.gain)
+    if strict_shapes(profile):
+        # Flat-ish: max/min gain within a 1.6x band (the paper's panel
+        # is visually flat; seeds add noise).
+        gains = [row.gain for row in series.rows]
+        assert max(gains) / min(gains) < 1.6, gains

@@ -1,0 +1,21 @@
+"""Fig. 6(d): performance gain vs wireless packet loss (22/27/37%).
+
+Paper: gain grows 1.37x -> 1.77x with loss — losses that escape
+link-layer retransmission are recovered from a closer location.
+"""
+
+from benchmarks.conftest import run_once, strict_shapes
+from repro.experiments.microbench import sweep_packet_loss
+
+
+def test_fig6d_packet_loss(benchmark, profile):
+    series = run_once(benchmark, lambda: sweep_packet_loss(profile))
+    print()
+    print(series.render())
+
+    for row in series.rows:
+        assert row.gain > 1.0, (row.label, row.gain)
+    if strict_shapes(profile):
+        # More loss never helps Xftp: its time grows with loss.
+        xftp_times = [row.xftp_time for row in series.rows]
+        assert xftp_times[-1] > xftp_times[0]

@@ -1,0 +1,25 @@
+"""Fig. 6(e): performance gain vs Internet bottleneck bandwidth.
+
+Paper: the headline panel — gain explodes from 1.77x at 60 Mbps to
+9.94x at 15 Mbps, because the loss-shaped bottleneck devastates the
+long-RTT end-to-end flow while SoftStage's short staging flow keeps
+the edge fed (especially through disconnections).
+"""
+
+from benchmarks.conftest import run_once, strict_shapes
+from repro.experiments.microbench import sweep_internet_bandwidth
+
+
+def test_fig6e_internet_bandwidth(benchmark, profile):
+    series = run_once(benchmark, lambda: sweep_internet_bandwidth(profile))
+    print()
+    print(series.render())
+
+    for row in series.rows:
+        assert row.gain > 1.0, (row.label, row.gain)
+    if strict_shapes(profile):
+        gains = [row.gain for row in series.rows]  # 60, 30, 15 Mbps
+        # Gain rises monotonically as the Internet slows down...
+        assert gains[0] < gains[1] < gains[2], gains
+        # ...and the slow-Internet end is a multiple of the fast end.
+        assert gains[2] > 2.0 * gains[0], gains

@@ -1,0 +1,22 @@
+"""Fig. 6(f): performance gain vs Internet latency (5-100 ms).
+
+Paper: gain grows 1.38x -> 2.3x as the RTT to the origin grows — a
+slower-feeling Internet makes staging to a closer location pay more.
+"""
+
+from benchmarks.conftest import run_once, strict_shapes
+from repro.experiments.microbench import sweep_internet_latency
+
+
+def test_fig6f_internet_latency(benchmark, profile):
+    series = run_once(benchmark, lambda: sweep_internet_latency(profile))
+    print()
+    print(series.render())
+
+    # From 20 ms upward SoftStage clearly wins.
+    for row in series.rows[2:]:
+        assert row.gain > 1.0, (row.label, row.gain)
+    if strict_shapes(profile):
+        # Gain rises with Internet latency over the sweep.
+        gains = [row.gain for row in series.rows]
+        assert gains[-1] > gains[0], gains

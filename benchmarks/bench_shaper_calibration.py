@@ -1,0 +1,60 @@
+"""Calibration check: the loss-based Internet bandwidth shaper.
+
+Regenerates a few points of the drop-rate -> wired-throughput curve
+that :data:`repro.net.emulation.XIA_WIRED_LOSS_TABLE` hardcodes, and
+verifies the table's interpolation still matches this build of the
+transport (the paper calibrated its NIC drop rates against its
+prototype the same way).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import render_table
+from repro.experiments.xia_benchmark import _build_segment
+from repro.net.emulation import loss_rate_for_wired_target
+from repro.net.loss import BernoulliLoss
+from repro.sim import RandomStreams
+from repro.transport import XIA_STREAM
+from repro.transport.xstream import XstreamClient
+from repro.util import MB, mbps
+
+
+def wired_throughput_at(drop_rate: float, seed: int) -> float:
+    sim, publisher, endpoint = _build_segment("wired", XIA_STREAM, seed)
+    if drop_rate > 0:
+        rng = RandomStreams(seed).stream("shaper-check")
+        # Inject loss at the client-side NIC, like the paper's setup.
+        link = endpoint.host.ports[0].link
+        link.forward.loss = BernoulliLoss(drop_rate, rng)
+        link.backward.loss = BernoulliLoss(drop_rate, rng)
+    content = publisher.publish_synthetic("blob", 10 * MB, 10 * MB)
+    client = XstreamClient(sim, endpoint, XIA_STREAM)
+    process = sim.process(client.download(content.addresses[0]))
+    return sim.run(until=process).throughput_bps
+
+
+def test_shaper_calibration(benchmark):
+    targets = (mbps(30), mbps(15))
+
+    def harness():
+        rows = []
+        for target in targets:
+            rate = loss_rate_for_wired_target(target)
+            measured = sum(
+                wired_throughput_at(rate, seed) for seed in (0, 1, 2)
+            ) / 3
+            rows.append((target / 1e6, rate, measured / 1e6))
+        return rows
+
+    rows = run_once(benchmark, harness)
+    print()
+    print(render_table(
+        "Loss-shaper calibration (wired reference flow)",
+        ("target (Mbps)", "drop rate", "measured (Mbps)"),
+        rows,
+    ))
+    for target_mbps, rate, measured_mbps in rows:
+        # The cliff region is steep and seed-sensitive; the shaper only
+        # needs to land the reference flow in the right regime.
+        assert 0.3 * target_mbps < measured_mbps < 2.5 * target_mbps, (
+            target_mbps, measured_mbps,
+        )

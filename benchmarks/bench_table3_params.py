@@ -1,0 +1,45 @@
+"""Table III: parameter settings.
+
+Prints the parameter registry and validates that the experiment
+defaults match the paper's defaults exactly.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.params import (
+    CHUNK_SIZE_LADDER,
+    MicrobenchParams,
+    PARAMETER_TABLE,
+)
+from repro.experiments.report import render_table
+from repro.util import MB, mbps, ms
+
+
+def test_table3_parameters(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            (row.name, str(row.default), row.note,
+             ", ".join(str(c) for c in row.candidates))
+            for row in PARAMETER_TABLE
+        ],
+    )
+    print()
+    print(render_table(
+        "Table III: parameter settings",
+        ("parameter", "default", "note", "candidates"),
+        rows,
+    ))
+
+    defaults = MicrobenchParams()
+    assert defaults.chunk_size == 2 * MB
+    assert defaults.encounter_time == 12.0
+    assert defaults.disconnection_time == 8.0
+    assert defaults.packet_loss == 0.27
+    assert defaults.internet_bandwidth == mbps(60)
+    assert defaults.internet_latency == ms(20)
+    assert defaults.file_size == 64 * MB
+
+    # The Fig. 6(a) chunk ladder matches the YouTube-clip framing.
+    assert CHUNK_SIZE_LADDER["1080p"] == 2 * MB
+    assert CHUNK_SIZE_LADDER["2160p"] == 10 * MB
+    assert len(PARAMETER_TABLE) == 6

@@ -1,0 +1,53 @@
+"""Shared bench configuration.
+
+Profiles (select via environment):
+
+- default          — 32 MB downloads, seeds (0, 1), exact segments.
+                     The paper uses 64 MB; halving keeps the full
+                     suite under an hour without changing any trend
+                     (gains are time ratios).
+- REPRO_BENCH_QUICK=1 — 16 MB, one seed, coarse segments (~minutes).
+- REPRO_BENCH_PAPER=1 — the paper's full 64 MB, three seeds.
+
+Every bench prints the regenerated table with the paper's value
+alongside, and asserts the *shape* (who wins, trend direction), never
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.microbench import BenchProfile
+from repro.util import MB
+
+
+def bench_profile() -> BenchProfile:
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return BenchProfile(file_size=16 * MB, seeds=(0,), segment_scale=2)
+    if os.environ.get("REPRO_BENCH_PAPER"):
+        return BenchProfile(file_size=64 * MB, seeds=(0, 1, 2), segment_scale=1)
+    return BenchProfile(file_size=32 * MB, seeds=(0, 1), segment_scale=1)
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    return bench_profile()
+
+
+def run_once(benchmark, fn):
+    """Run a harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def strict_shapes(profile: BenchProfile) -> bool:
+    """Whether trend-direction assertions should be enforced.
+
+    The quick smoke profile (small file, coarse segments, one seed)
+    verifies that everything *runs* and SoftStage wins; the full
+    profiles additionally assert the paper's trend directions, which
+    need the real download length and exact segments to show.
+    """
+    return profile.segment_scale == 1 and profile.file_size >= 32 * MB

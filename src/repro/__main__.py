@@ -1,0 +1,139 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo``      — the quickstart comparison (SoftStage vs Xftp);
+- ``fig5``      — the XIA substrate benchmark table;
+- ``sweep``     — one Fig. 6 panel (``--panel a..f``);
+- ``handoff``   — the §IV-D handoff-policy comparison;
+- ``traces``    — the Fig. 7 trace-driven experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import microbench
+from repro.experiments.handoff import PAPER_SAVING, run_comparison
+from repro.experiments.microbench import BenchProfile
+from repro.experiments.params import MicrobenchParams
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_download
+from repro.experiments.tracedriven import run_all as run_traces
+from repro.experiments.xia_benchmark import run_all as run_fig5
+from repro.util import MB
+
+
+def cmd_demo(args) -> None:
+    params = MicrobenchParams(file_size=int(args.file_mb * MB))
+    xftp = run_download("xftp", params=params, seed=args.seed)
+    softstage = run_download("softstage", params=params, seed=args.seed)
+    print(render_table(
+        f"{args.file_mb:g} MB download, Table III defaults",
+        ("system", "time (s)", "Mbps", "edge chunks"),
+        [
+            ("Xftp", xftp.download_time,
+             xftp.download.throughput_bps / 1e6, 0),
+            ("SoftStage", softstage.download_time,
+             softstage.download.throughput_bps / 1e6,
+             softstage.download.chunks_from_edge),
+        ],
+    ))
+    print(f"gain: {xftp.download_time / softstage.download_time:.2f}x "
+          f"(paper: ~1.77x)")
+
+
+def cmd_fig5(args) -> None:
+    points = run_fig5(seed=args.seed)
+    print(render_table(
+        "Fig. 5: 10 MB transfer throughput",
+        ("segment", "protocol", "measured (Mbps)", "paper (Mbps)"),
+        [(p.segment, p.protocol, p.throughput_bps / 1e6, p.paper_mbps)
+         for p in points],
+    ))
+
+
+def cmd_sweep(args) -> None:
+    sweeps = {
+        "a": microbench.sweep_chunk_size,
+        "b": microbench.sweep_encounter_time,
+        "c": microbench.sweep_disconnection_time,
+        "d": microbench.sweep_packet_loss,
+        "e": microbench.sweep_internet_bandwidth,
+        "f": microbench.sweep_internet_latency,
+    }
+    profile = BenchProfile(
+        file_size=int(args.file_mb * MB),
+        seeds=tuple(range(args.seeds)),
+        segment_scale=args.scale,
+    )
+    series = sweeps[args.panel](profile)
+    print(series.render())
+
+
+def cmd_handoff(args) -> None:
+    comparison = run_comparison(
+        file_size=int(args.file_mb * MB),
+        seeds=tuple(range(args.seeds)),
+        segment_scale=args.scale,
+    )
+    print(f"default: {comparison.default_time:.1f}s   "
+          f"content-aware: {comparison.content_aware_time:.1f}s   "
+          f"saving: {comparison.saving:.1%} (paper: {PAPER_SAVING:.1%})")
+
+
+def cmd_traces(args) -> None:
+    results = run_traces(
+        seeds=tuple(range(args.seeds)),
+        duration=args.duration,
+        segment_scale=args.scale,
+    )
+    print(render_table(
+        "Fig. 7(b): objects downloaded within the trace",
+        ("trace", "coverage", "Xftp", "SoftStage", "ratio"),
+        [(r.trace_name, f"{r.coverage_fraction:.0%}", r.xftp_chunks,
+          r.softstage_chunks, r.object_ratio) for r in results],
+    ))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="SoftStage vs Xftp quick comparison")
+    demo.add_argument("--file-mb", type=float, default=32.0)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(fn=cmd_demo)
+
+    fig5 = sub.add_parser("fig5", help="XIA substrate benchmark")
+    fig5.add_argument("--seed", type=int, default=1)
+    fig5.set_defaults(fn=cmd_fig5)
+
+    sweep = sub.add_parser("sweep", help="one Fig. 6 panel")
+    sweep.add_argument("--panel", choices=list("abcdef"), required=True)
+    sweep.add_argument("--file-mb", type=float, default=32.0)
+    sweep.add_argument("--seeds", type=int, default=1)
+    sweep.add_argument("--scale", type=int, default=1)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    handoff = sub.add_parser("handoff", help="handoff-policy comparison")
+    handoff.add_argument("--file-mb", type=float, default=48.0)
+    handoff.add_argument("--seeds", type=int, default=1)
+    handoff.add_argument("--scale", type=int, default=2)
+    handoff.set_defaults(fn=cmd_handoff)
+
+    traces = sub.add_parser("traces", help="trace-driven experiment")
+    traces.add_argument("--duration", type=float, default=300.0)
+    traces.add_argument("--seeds", type=int, default=1)
+    traces.add_argument("--scale", type=int, default=2)
+    traces.set_defaults(fn=cmd_traces)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

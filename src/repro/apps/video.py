@@ -1,0 +1,168 @@
+"""Video-on-Demand over SoftStage (§V "Extension to Video Streaming").
+
+A VoD player with buffer-based rate adaptation (BBA-style [24]): the
+next segment's quality is a function of the playback buffer level —
+below the *reservoir* pick the lowest rung, above the *cushion* the
+highest, linear in between.  Each (segment, quality) rendition is an
+independent chunk published by the origin, so the player runs over the
+same chunk-fetch machinery as everything else; with SoftStage
+underneath, upcoming segments get staged to the edge while the buffer
+drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.util.validation import check_positive
+from repro.xcache.publisher import ContentPublisher, PublishedContent
+
+
+@dataclass(frozen=True)
+class VideoLadder:
+    """An encoding ladder: one bitrate per quality rung."""
+
+    name: str = "sdr-default"
+    #: Bits/second per rung, lowest first (YouTube SDR-ish ladder).
+    bitrates: tuple[float, ...] = (1e6, 2.5e6, 5e6, 8e6, 16e6)
+    segment_seconds: float = 2.0
+
+    def segment_bytes(self, rung: int) -> int:
+        return max(int(self.bitrates[rung] * self.segment_seconds / 8), 1)
+
+    @property
+    def rungs(self) -> int:
+        return len(self.bitrates)
+
+
+def publish_video(
+    publisher: ContentPublisher,
+    name: str,
+    duration_seconds: float,
+    ladder: Optional[VideoLadder] = None,
+) -> dict[int, PublishedContent]:
+    """Publish every rendition of a video; returns rung -> manifest."""
+    ladder = ladder or VideoLadder()
+    check_positive("duration_seconds", duration_seconds)
+    segments = max(int(duration_seconds / ladder.segment_seconds), 1)
+    renditions = {}
+    for rung in range(ladder.rungs):
+        seg_bytes = ladder.segment_bytes(rung)
+        renditions[rung] = publisher.publish_synthetic(
+            f"{name}@r{rung}", seg_bytes * segments, seg_bytes
+        )
+    return renditions
+
+
+@dataclass
+class PlaybackStats:
+    """What the player reports at the end of a session."""
+
+    segments_played: int = 0
+    rebuffer_events: int = 0
+    rebuffer_seconds: float = 0.0
+    startup_delay: float = 0.0
+    quality_switches: int = 0
+    rung_history: list[int] = field(default_factory=list)
+
+    @property
+    def mean_rung(self) -> float:
+        if not self.rung_history:
+            return 0.0
+        return sum(self.rung_history) / len(self.rung_history)
+
+
+class BufferBasedPlayer:
+    """A BBA-style VoD client over any chunk-fetch function.
+
+    ``fetch`` is a callable ``(cid) -> sim process`` — pass
+    ``SoftStageClient.manager.chunk_manager.xfetch_chunk_star`` to play
+    through SoftStage, or a plain fetcher's address-based wrapper for
+    the baseline.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        renditions: dict[int, PublishedContent],
+        fetch: Callable,
+        ladder: Optional[VideoLadder] = None,
+        reservoir_seconds: float = 5.0,
+        cushion_seconds: float = 20.0,
+        startup_segments: int = 2,
+    ) -> None:
+        if not renditions:
+            raise ConfigurationError("no renditions published")
+        self.sim = sim
+        self.renditions = renditions
+        self.fetch = fetch
+        self.ladder = ladder or VideoLadder()
+        if reservoir_seconds >= cushion_seconds:
+            raise ConfigurationError("reservoir must be below cushion")
+        self.reservoir = reservoir_seconds
+        self.cushion = cushion_seconds
+        self.startup_segments = max(startup_segments, 1)
+        self.stats = PlaybackStats()
+
+    # -- rate adaptation -----------------------------------------------------
+
+    def choose_rung(self, buffer_seconds: float) -> int:
+        """Buffer-based quality map (piecewise linear)."""
+        top = self.ladder.rungs - 1
+        if buffer_seconds <= self.reservoir:
+            return 0
+        if buffer_seconds >= self.cushion:
+            return top
+        fraction = (buffer_seconds - self.reservoir) / (
+            self.cushion - self.reservoir
+        )
+        return min(int(fraction * self.ladder.rungs), top)
+
+    # -- playback ----------------------------------------------------------------
+
+    def play(self, max_segments: Optional[int] = None):
+        """Process: stream the video; returns PlaybackStats."""
+        ladder = self.ladder
+        total_segments = len(self.renditions[0].chunks)
+        if max_segments is not None:
+            total_segments = min(total_segments, max_segments)
+
+        stats = self.stats
+        buffer_seconds = 0.0
+        last_rung: Optional[int] = None
+        playback_started = False
+        session_start = self.sim.now
+        last_drain_at = self.sim.now
+
+        for index in range(total_segments):
+            # Drain the buffer by the wall time since the last fetch.
+            now = self.sim.now
+            if playback_started:
+                drained = now - last_drain_at
+                if drained > buffer_seconds:
+                    stats.rebuffer_events += 1
+                    stats.rebuffer_seconds += drained - buffer_seconds
+                    buffer_seconds = 0.0
+                else:
+                    buffer_seconds -= drained
+            last_drain_at = now
+
+            rung = self.choose_rung(buffer_seconds)
+            if last_rung is not None and rung != last_rung:
+                stats.quality_switches += 1
+            last_rung = rung
+            stats.rung_history.append(rung)
+
+            chunk = self.renditions[rung].chunks[index]
+            yield self.sim.process(self.fetch(chunk.cid))
+
+            buffer_seconds += ladder.segment_seconds
+            stats.segments_played += 1
+            if not playback_started and stats.segments_played >= self.startup_segments:
+                playback_started = True
+                stats.startup_delay = self.sim.now - session_start
+                last_drain_at = self.sim.now
+        return stats

@@ -1,0 +1,191 @@
+"""EdgeBuffer-style predictive staging (the approach §III-B argues against).
+
+A :class:`MobilityPredictor` guesses which network the client will
+visit next; the :class:`PredictiveStagingClient` pre-stages upcoming
+chunks into the *predicted* network's VNF before the client gets
+there.  When the prediction is right this is as good as (or slightly
+better than) reactive staging; when it is wrong, chunks sit in the
+wrong edge cache and must be fetched cross-network or re-staged — the
+fragility the paper's reactive design avoids.  ``accuracy`` sweeps the
+spectrum for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.core.client import DownloadResult
+from repro.core.config import SoftStageConfig
+from repro.core.handoff import HandoffManager, RssGreedyPolicy
+from repro.core.profile import ChunkProfile
+from repro.core.states import StagingState
+from repro.core.tracker import StagingTracker
+from repro.mobility.association import AccessPointInfo, Association, AssociationController
+from repro.mobility.scanner import Scanner
+from repro.sim import Simulator
+from repro.transport.chunkfetch import ChunkFetcher, FetchOutcome
+from repro.transport.reliable import TransportEndpoint
+from repro.xia.dag import DagAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.nodes import Host
+    from repro.xcache.publisher import PublishedContent
+
+
+class MobilityPredictor:
+    """Predicts the next network with configurable accuracy.
+
+    With probability ``accuracy`` it names the network the client will
+    actually join next (we let the round-robin coverage make "next"
+    well defined); otherwise it names a uniformly random *other*
+    network — modeling the AP-availability churn the paper cites as
+    what breaks layer-2 prediction in practice.
+    """
+
+    def __init__(
+        self,
+        access_points: Sequence[AccessPointInfo],
+        accuracy: float,
+        rng: random.Random,
+    ) -> None:
+        self.access_points = list(access_points)
+        self.accuracy = accuracy
+        self.rng = rng
+        self.predictions = 0
+
+    def predict_next(self, current_name: Optional[str]) -> AccessPointInfo:
+        self.predictions += 1
+        names = [info.name for info in self.access_points]
+        if current_name in names and len(names) > 1:
+            true_next = self.access_points[
+                (names.index(current_name) + 1) % len(names)
+            ]
+        else:
+            true_next = self.access_points[0]
+        if self.rng.random() < self.accuracy or len(names) == 1:
+            return true_next
+        others = [info for info in self.access_points if info is not true_next]
+        return others[self.rng.randrange(len(others))]
+
+
+class PredictiveStagingClient:
+    """Downloads with prediction-driven (rather than reactive) staging."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        endpoint: TransportEndpoint,
+        controller: AssociationController,
+        scanner: Scanner,
+        predictor: MobilityPredictor,
+        config: Optional[SoftStageConfig] = None,
+        stage_window: int = 8,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.endpoint = endpoint
+        self.controller = controller
+        self.config = config or SoftStageConfig()
+        self.predictor = predictor
+        self.stage_window = stage_window
+        self.profile = ChunkProfile(ewma_alpha=self.config.ewma_alpha)
+        self.tracker = StagingTracker(sim, host, self.profile)
+        self.handoff_manager = HandoffManager(
+            sim, controller, scanner, policy=RssGreedyPolicy(), config=self.config
+        )
+        self.fetcher = ChunkFetcher(
+            sim, endpoint, wait_for_connectivity=controller.wait_attached
+        )
+        controller.on_attach(self._on_attach)
+        self.wrong_network_fetches = 0
+        self.chunks_from_edge = 0
+        self.chunks_from_origin = 0
+
+    # -- prediction-driven staging ---------------------------------------------
+
+    def _on_attach(self, association: Association) -> None:
+        new_dag = DagAddress.host(self.host.hid, association.ap.nid)
+        self.endpoint.migrate_receivers(new_dag)
+        # On every join, pre-stage the upcoming window into the network
+        # the predictor says comes *after* this one.
+        predicted = self.predictor.predict_next(association.ap.name)
+        self._stage_into(predicted)
+
+    def _vnf_address(self, info: AccessPointInfo) -> Optional[DagAddress]:
+        if info.vnf_sid is None or info.cache_hid is None:
+            return None
+        return DagAddress.service(info.vnf_sid, info.nid, info.cache_hid)
+
+    def _stage_into(self, info: AccessPointInfo) -> None:
+        if not self.controller.is_associated:
+            return  # signals need connectivity
+        vnf = self._vnf_address(info)
+        if vnf is None:
+            return
+        # Requests whose confirmations never arrived (sent toward a
+        # network we never reached, or lost in the air) are re-issued.
+        for record in self.profile.stale_pending(self.sim.now, timeout=5.0):
+            record.staging_state = StagingState.BLANK
+        records = self.profile.next_to_stage(self.stage_window)
+        if records:
+            self.tracker.signal(records, vnf, label=f"predict:{info.name}")
+
+    # -- download ----------------------------------------------------------------
+
+    def download(self, content: "PublishedContent", deadline: Optional[float] = None):
+        """Process: sequential chunk download with predictive staging."""
+        self.profile.register_content(content)
+        started = self.sim.now
+        outcomes: list[FetchOutcome] = []
+        bytes_received = 0
+        for chunk in content.chunks:
+            if deadline is not None and self.sim.now >= deadline:
+                break
+            record = self.profile.get(chunk.cid)
+            fetch = self.sim.process(self.fetcher.fetch(record.best_dag))
+            if deadline is None:
+                outcome = yield fetch
+            else:
+                result = yield self.sim.any_of(
+                    [fetch, self.sim.timeout(max(deadline - self.sim.now, 0.0))]
+                )
+                if fetch not in result:
+                    break
+                outcome = result[fetch]
+            latency = self.sim.now - started
+            origin_hid = record.raw_dag.fallback_hid
+            from_edge = (
+                outcome.served_by_hid is not None
+                and outcome.served_by_hid != origin_hid
+            )
+            self.profile.observe_fetch(record, latency, from_edge=from_edge)
+            if from_edge:
+                self.chunks_from_edge += 1
+                current = self.controller.current
+                if (
+                    current is not None
+                    and outcome.served_by_nid is not None
+                    and outcome.served_by_nid != current.ap.nid
+                ):
+                    self.wrong_network_fetches += 1
+            else:
+                self.chunks_from_origin += 1
+                if record.staging_state is StagingState.BLANK:
+                    record.staging_state = StagingState.DONE
+            outcomes.append(outcome)
+            bytes_received += outcome.bytes_received
+        return DownloadResult(
+            content_name=content.name,
+            bytes_received=bytes_received,
+            duration=self.sim.now - started,
+            chunks_completed=len(outcomes),
+            chunks_total=len(content.chunks),
+            chunks_from_edge=self.chunks_from_edge,
+            chunks_from_origin=self.chunks_from_origin,
+            fallbacks=0,
+            handoffs=self.handoff_manager.handoffs,
+            staging_signals=self.tracker.signals_sent,
+            outcomes=outcomes,
+        )

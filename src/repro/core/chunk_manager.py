@@ -1,0 +1,131 @@
+"""The Chunk Manager: the ``XfetchChunk*`` delegation API.
+
+Client applications call :meth:`ChunkManager.xfetch_chunk_star` with a
+CID and get the chunk, never learning where it came from: the manager
+polls the Chunk Profile for the freshest address (the staged edge copy
+when one is READY, the origin otherwise), honours any deferred
+chunk-aware handoff before starting the next transfer, falls back to
+the origin DAG when the edge copy cannot be reached, and feeds every
+observation (fetch latency, serving location) back into the profile.
+It also keeps transport sessions alive across moves by announcing
+migrations whenever the client re-attaches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.config import SoftStageConfig
+from repro.core.handoff import HandoffManager
+from repro.core.profile import ChunkProfile
+from repro.core.states import StagingState
+from repro.errors import TransportError
+from repro.mobility.association import Association, AssociationController
+from repro.sim import Simulator
+from repro.transport.chunkfetch import ChunkFetcher, FetchOutcome
+from repro.transport.reliable import TransportEndpoint
+from repro.xia.dag import DagAddress
+from repro.xia.ids import XID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.nodes import Host
+
+
+class ChunkManager:
+    """Location-transparent chunk retrieval for client applications."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        endpoint: TransportEndpoint,
+        profile: ChunkProfile,
+        controller: AssociationController,
+        config: Optional[SoftStageConfig] = None,
+        handoff_manager: Optional[HandoffManager] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.endpoint = endpoint
+        self.profile = profile
+        self.controller = controller
+        self.config = config or SoftStageConfig()
+        self.handoff_manager = handoff_manager
+        self.fetcher = ChunkFetcher(
+            sim, endpoint, wait_for_connectivity=controller.wait_attached
+        )
+        controller.on_attach(self._on_attach)
+        self.chunks_from_edge = 0
+        self.chunks_from_origin = 0
+        self.fallbacks = 0
+
+    # -- mobility plumbing ---------------------------------------------------
+
+    def _on_attach(self, association: Association) -> None:
+        """Re-announce every live transport session from the new network."""
+        new_dag = DagAddress.host(self.host.hid, association.ap.nid)
+        self.endpoint.migrate_receivers(new_dag)
+
+    # -- the delegation API -----------------------------------------------------
+
+    def xfetch_chunk_star(self, cid: XID):
+        """Process: fetch one chunk with location transparency."""
+        record = self.profile.get(cid)
+        handoff = self.handoff_manager
+
+        # A chunk-aware handoff deferred to this boundary happens first.
+        if handoff is not None and handoff.pending_target is not None:
+            handoff.on_chunk_boundary()
+            # Give the association a chance to complete before fetching.
+            yield self.sim.timeout(0.0)
+
+        started = self.sim.now
+        if self.config.xfetch_control_overhead > 0:
+            # Delegation-API cost: poll the Chunk Profile, refresh
+            # staging state, sync with the Staging Manager (IPC).
+            yield self.sim.timeout(self.config.xfetch_control_overhead)
+        address = record.best_dag
+        if handoff is not None:
+            handoff.fetch_active = True
+        try:
+            outcome = yield self.sim.process(self.fetcher.fetch(address))
+        except TransportError:
+            if address == record.raw_dag:
+                raise
+            # The staged copy is unreachable (edge cache gone, stale
+            # announcement): fall back to the origin (Table II).
+            self.fallbacks += 1
+            record.staging_state = StagingState.DONE
+            record.new_dag = None
+            outcome = yield self.sim.process(self.fetcher.fetch(record.raw_dag))
+        finally:
+            if handoff is not None:
+                handoff.fetch_active = False
+
+        self._account(record, outcome, self.sim.now - started)
+        if handoff is not None:
+            handoff.on_chunk_boundary()
+        return outcome
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def _account(self, record, outcome: FetchOutcome, latency: float) -> None:
+        origin_hid = record.raw_dag.fallback_hid
+        from_edge = (
+            outcome.served_by_hid is not None
+            and outcome.served_by_hid != origin_hid
+        )
+        self.profile.observe_fetch(record, latency, from_edge=from_edge)
+        if from_edge:
+            self.chunks_from_edge += 1
+        else:
+            self.chunks_from_origin += 1
+            if record.staging_state is StagingState.BLANK:
+                # Fetched directly (no VNF available): never stage it.
+                record.staging_state = StagingState.DONE
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChunkManager edge={self.chunks_from_edge} "
+            f"origin={self.chunks_from_origin} fallbacks={self.fallbacks}>"
+        )

@@ -1,0 +1,125 @@
+"""The Staging Coordinator: the reactive "Just-in-Time" algorithm.
+
+The paper's Eq. 1 keeps the staged-ahead count N at the break-even
+point where draining the staged buffer takes exactly as long as
+staging one more chunk:
+
+    stage immediately while   N < (RTT_C,Edge + L_S->Edge) / L_Edge->C
+
+On top of that minimum the coordinator signals a *gap allowance*:
+enough additional chunks that the VNF's staging pipeline keeps running
+through a coverage gap of the length the client has actually been
+observing (an EWMA over measured disconnections — reactive adaptation,
+never mobility prediction).  Slow Internet inflates ``L_S->Edge`` and
+therefore both terms, which is exactly the paper's "aggressively stage
+more chunks when the Internet bandwidth is detected slow" behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.core.config import SoftStageConfig
+from repro.core.network_sensor import NetworkSensor
+from repro.core.profile import ChunkProfile
+from repro.core.states import StagingState
+from repro.core.tracker import StagingTracker
+from repro.sim import Simulator
+
+
+class StagingCoordinator:
+    """Polls the profile and decides how many chunks to signal."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: ChunkProfile,
+        tracker: StagingTracker,
+        sensor: NetworkSensor,
+        config: Optional[SoftStageConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.tracker = tracker
+        self.sensor = sensor
+        self.config = config or SoftStageConfig()
+        self.ticks = 0
+        self.decisions = 0
+        self._running = False
+
+    # -- the staging algorithm ------------------------------------------------
+
+    def eq1_threshold(self) -> float:
+        """The paper's Eq. 1 right-hand side from current estimates."""
+        config = self.config
+        rtt = self.profile.rtt_to_edge.value_or(config.default_rtt)
+        stage_latency = self.profile.staging_latency.value_or(
+            config.default_staging_latency
+        )
+        fetch_latency = self.profile.edge_fetch_latency.value_or(
+            config.default_fetch_latency
+        )
+        return (rtt + stage_latency) / max(fetch_latency, 1e-6)
+
+    def gap_allowance(self) -> int:
+        """Extra chunks signalled so staging survives a coverage gap."""
+        config = self.config
+        gap = self.sensor.expected_gap(config.initial_gap_estimate)
+        stage_latency = self.profile.staging_latency.value_or(
+            config.default_staging_latency
+        )
+        return math.ceil(gap / max(stage_latency, 1e-3))
+
+    def target_signalled(self) -> int:
+        """How many unfetched chunks should be READY or PENDING."""
+        if self.profile.staging_latency.samples == 0:
+            # Nothing confirmed yet: open with the configured burst.
+            base = self.config.initial_stage_count
+        else:
+            base = math.ceil(self.eq1_threshold())
+        return min(base + self.gap_allowance(), self.config.max_stage_ahead)
+
+    # -- poll loop ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running and not self.profile.all_fetched():
+            self.tick()
+            yield self.sim.timeout(self.config.coordinator_poll_interval)
+
+    def tick(self) -> int:
+        """One coordination round; returns chunks newly signalled."""
+        self.ticks += 1
+        vnf = self.sensor.current_vnf_address()
+        if vnf is None:
+            return 0  # offline, or no VNF here (fault-tolerance path)
+
+        signalled = 0
+        # Re-signal staging requests whose confirmations never arrived
+        # (lost on the wireless segment or sent while we were away).
+        stale = self.profile.stale_pending(
+            self.sim.now, self.config.staging_signal_timeout
+        )
+        if stale:
+            signalled += self.tracker.signal(stale, vnf, label="re-signal")
+
+        outstanding = self.profile.staged_ahead() + self.profile.pending_staging()
+        deficit = self.target_signalled() - outstanding
+        if deficit > 0:
+            fresh = self.profile.next_to_stage(deficit)
+            if fresh:
+                self.decisions += 1
+                signalled += self.tracker.signal(fresh, vnf, label="eq1")
+        return signalled
+
+    def __repr__(self) -> str:
+        return f"<StagingCoordinator ticks={self.ticks} decisions={self.decisions}>"

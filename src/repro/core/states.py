@@ -1,0 +1,28 @@
+"""Chunk lifecycle states (paper Table I)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class FetchState(enum.Enum):
+    """Whether the client application has the chunk yet."""
+
+    BLANK = "blank"
+    DONE = "done"
+
+
+class StagingState(enum.Enum):
+    """Where the chunk stands in the staging pipeline.
+
+    ``BLANK``: not signalled; ``PENDING``: requested from a Staging
+    VNF, not yet confirmed; ``READY``: staged in an edge cache and
+    announced back; ``DONE``: staging intentionally skipped (fetched
+    directly from the origin — the fault-tolerance path sets this "to
+    avoid duplicated staging", §III-C).
+    """
+
+    BLANK = "blank"
+    PENDING = "pending"
+    READY = "ready"
+    DONE = "done"

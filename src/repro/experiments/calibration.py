@@ -1,0 +1,73 @@
+"""Calibration constants: where every hardware stand-in number comes from.
+
+Our substrate is a simulator, so a handful of constants replace
+physical equipment.  Each is fitted against a number the paper itself
+reports (mostly the Fig. 5 benchmark), and the fit is checked by
+``benchmarks/bench_fig5_xia_benchmark.py``:
+
+===========================  =======================================
+Constant                     Fitted against
+===========================  =======================================
+WIRED_SEGMENT_BPS            Fig. 5: Linux TCP reaches 95 Mbps on the
+                             wired segment -> a 100 Mbps segment.
+WIRELESS_PHY_BPS             802.11n single-stream HT20 (MCS7) PHY.
+WIRELESS_FRAME_OVERHEAD_S    Fig. 5: Linux TCP at 28 Mbps over
+                             802.11n -> ~150 us of DIFS/preamble/
+                             SIFS/ACK per frame.
+XIA_STREAM per_packet_cost   Fig. 5: Xstream caps at 66 Mbps on the
+                             wired segment (user-level Click daemon)
+                             -> 150 us per packet
+                             (see repro.transport.config).
+XIA_CHUNK verify_rate        Fig. 5: XChunkP at 56 vs Xstream's
+                             66 Mbps over 5 x 2 MB chunks -> ~40 ms
+                             extra per chunk ~= SHA-1 at 50 MB/s.
+MIGRATION_DELAY_S            §IV-C: active session migration is "a
+                             fixed overhead of 1 or 2 sec" -> 1.5 s.
+ARQ_MAX_RETRIES              802.11 short retry limit region; with
+                             the bursty channel this yields the
+                             residual loss that makes Fig. 6(d) move.
+FADE_MEAN_DURATION_S         Vehicular large-scale fading: obstacle
+                             shadowing at urban speeds lasts on the
+                             order of a quarter second.
+INTERNET_BASE_BPS            Physical rate of the emulated Internet
+                             segment; always above the shaped target
+                             (Table III: 15-60 Mbps), as on the
+                             testbed's GbE NICs.
+===========================  =======================================
+"""
+
+from repro.util import mbps
+
+#: The wired segment of the paper's testbed (Fig. 5's "wired").
+WIRED_SEGMENT_BPS = mbps(100)
+WIRED_HOP_DELAY_S = 0.1e-3
+
+#: 802.11n single-stream PHY rate and per-frame MAC overhead.
+WIRELESS_PHY_BPS = mbps(65)
+WIRELESS_FRAME_OVERHEAD_S = 150e-6
+WIRELESS_BASE_DELAY_S = 0.5e-3
+
+#: Link-layer ARQ on the wireless access link (802.11 long retry
+#: region).  Calibrated jointly with the fade shape below so that, at
+#: the Table III default of 27% channel loss, the transport-visible
+#: residual loss lands at the few-tenths-of-a-percent level implied by
+#: the paper's moderate Fig. 6(d) gains (1.37x-1.77x) — deep fades that
+#: defeat ARQ entirely would produce gains far above anything the
+#: paper reports.
+ARQ_MAX_RETRIES = 6
+ARQ_RETRY_BACKOFF_S = 0.5e-3
+
+#: Bursty-fading channel shape (Gilbert-Elliott bad state): shallow,
+#: sub-second fades from moving-obstacle blockage.
+FADE_MEAN_DURATION_S = 0.15
+FADE_GOOD_LOSS = 0.02
+FADE_BAD_LOSS = 0.5
+
+#: XIA active transport-session migration cost (paper: "1 or 2 sec").
+MIGRATION_DELAY_S = 1.5
+
+#: Physical rate of the Internet segment before loss shaping.
+INTERNET_BASE_BPS = mbps(1000)
+
+#: Router forwarding cost (Click fast path — far below endpoint cost).
+ROUTER_FORWARD_COST_S = 5e-6

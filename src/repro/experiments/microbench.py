@@ -1,0 +1,170 @@
+"""Fig. 6 micro-benchmarks: one sweep driver per panel.
+
+Each driver varies one Table III parameter, keeps the rest at their
+defaults, downloads the same file with Xftp and with SoftStage, and
+reports mean download times over the configured seeds plus the gain
+the paper measured for that point.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.params import MicrobenchParams
+from repro.experiments.report import GainSeries
+from repro.experiments.runner import run_download
+from repro.util import MB, mbps, ms
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """How heavy a bench run should be.
+
+    The paper downloads 64 MB per run; the default profile keeps that.
+    ``REPRO_BENCH_QUICK=1`` switches to a light profile for smoke runs,
+    and ``REPRO_BENCH_SEEDS=n`` overrides the seed count.
+    """
+
+    file_size: int = 64 * MB
+    seeds: tuple[int, ...] = (0, 1, 2)
+    segment_scale: int = 1
+
+    @classmethod
+    def from_env(cls) -> "BenchProfile":
+        if os.environ.get("REPRO_BENCH_QUICK"):
+            profile = cls(file_size=16 * MB, seeds=(0,), segment_scale=2)
+        else:
+            profile = cls()
+        seeds_override = os.environ.get("REPRO_BENCH_SEEDS")
+        if seeds_override:
+            profile = cls(
+                file_size=profile.file_size,
+                seeds=tuple(range(int(seeds_override))),
+                segment_scale=profile.segment_scale,
+            )
+        return profile
+
+
+def measure_point(
+    params: MicrobenchParams,
+    profile: BenchProfile,
+    handoff_policy_factory: Optional[Callable] = None,
+) -> tuple[float, float]:
+    """(mean Xftp time, mean SoftStage time) at one parameter point."""
+    params = params.with_(file_size=profile.file_size)
+    xftp_times, softstage_times = [], []
+    for seed in profile.seeds:
+        xftp = run_download(
+            "xftp", params=params, seed=seed,
+            segment_scale=profile.segment_scale,
+        )
+        policy = handoff_policy_factory() if handoff_policy_factory else None
+        softstage = run_download(
+            "softstage", params=params, seed=seed,
+            segment_scale=profile.segment_scale, handoff_policy=policy,
+        )
+        xftp_times.append(xftp.download_time)
+        softstage_times.append(softstage.download_time)
+    return statistics.mean(xftp_times), statistics.mean(softstage_times)
+
+
+def _sweep(
+    title: str,
+    parameter: str,
+    points: Sequence[tuple[str, MicrobenchParams, Optional[float]]],
+    profile: Optional[BenchProfile] = None,
+) -> GainSeries:
+    profile = profile or BenchProfile.from_env()
+    series = GainSeries(title=title, parameter=parameter)
+    for label, params, paper_gain in points:
+        xftp_time, softstage_time = measure_point(params, profile)
+        series.add(label, xftp_time, softstage_time, paper_gain)
+    return series
+
+
+# -- the six panels ----------------------------------------------------------
+
+#: Paper-reported gains for the panel endpoints (Fig. 6 text).
+PAPER_GAINS = {
+    "chunk": {"0.25 MB": 1.59, "10 MB": 1.96},
+    "encounter": {"3 s": 1.55, "12 s": 1.77},
+    "disconnection": {"8 s": 1.7, "32 s": 1.7, "100 s": 1.7},
+    "loss": {"22%": 1.37, "37%": 1.77},
+    "bandwidth": {"60 Mbps": 1.77, "15 Mbps": 9.94},
+    "latency": {"5 ms": 1.38, "100 ms": 2.3},
+}
+
+
+def sweep_chunk_size(profile: Optional[BenchProfile] = None) -> GainSeries:
+    """Fig. 6(a)."""
+    base = MicrobenchParams()
+    points = [
+        (f"{size_mb} MB", base.with_(chunk_size=int(size_mb * MB)),
+         PAPER_GAINS["chunk"].get(f"{size_mb} MB"))
+        for size_mb in (0.25, 0.625, 1.25, 2, 4, 10)
+    ]
+    return _sweep("Fig. 6(a): chunk size", "chunk size", points, profile)
+
+
+def sweep_encounter_time(profile: Optional[BenchProfile] = None) -> GainSeries:
+    """Fig. 6(b)."""
+    base = MicrobenchParams()
+    points = [
+        (f"{seconds:g} s", base.with_(encounter_time=float(seconds)),
+         PAPER_GAINS["encounter"].get(f"{seconds:g} s"))
+        for seconds in (3, 4, 12)
+    ]
+    return _sweep("Fig. 6(b): encounter time", "encounter", points, profile)
+
+
+def sweep_disconnection_time(profile: Optional[BenchProfile] = None) -> GainSeries:
+    """Fig. 6(c)."""
+    base = MicrobenchParams()
+    points = [
+        (f"{seconds:g} s", base.with_(disconnection_time=float(seconds)),
+         PAPER_GAINS["disconnection"].get(f"{seconds:g} s"))
+        for seconds in (8, 32, 100)
+    ]
+    return _sweep(
+        "Fig. 6(c): disconnection time", "disconnection", points, profile
+    )
+
+
+def sweep_packet_loss(profile: Optional[BenchProfile] = None) -> GainSeries:
+    """Fig. 6(d)."""
+    base = MicrobenchParams()
+    points = [
+        (f"{int(loss * 100)}%", base.with_(packet_loss=loss),
+         PAPER_GAINS["loss"].get(f"{int(loss * 100)}%"))
+        for loss in (0.22, 0.27, 0.37)
+    ]
+    return _sweep("Fig. 6(d): packet loss rate", "loss rate", points, profile)
+
+
+def sweep_internet_bandwidth(profile: Optional[BenchProfile] = None) -> GainSeries:
+    """Fig. 6(e)."""
+    base = MicrobenchParams()
+    points = [
+        (f"{bw} Mbps", base.with_(internet_bandwidth=mbps(bw)),
+         PAPER_GAINS["bandwidth"].get(f"{bw} Mbps"))
+        for bw in (60, 30, 15)
+    ]
+    return _sweep(
+        "Fig. 6(e): Internet bottleneck bandwidth", "bandwidth", points, profile
+    )
+
+
+def sweep_internet_latency(profile: Optional[BenchProfile] = None) -> GainSeries:
+    """Fig. 6(f)."""
+    base = MicrobenchParams()
+    points = [
+        (f"{latency} ms", base.with_(internet_latency=ms(latency)),
+         PAPER_GAINS["latency"].get(f"{latency} ms"))
+        for latency in (5, 10, 20, 50, 100)
+    ]
+    return _sweep(
+        "Fig. 6(f): Internet latency", "latency", points, profile
+    )

@@ -1,0 +1,81 @@
+"""Text rendering of experiment results (the bench harness output).
+
+Each bench prints the same rows/series the paper reports: a labelled
+table with Xftp and SoftStage download times and the gain, plus the
+paper's value for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class GainRow:
+    """One x-axis point of a Fig. 6-style plot."""
+
+    label: str
+    xftp_time: float
+    softstage_time: float
+    paper_gain: Optional[float] = None
+
+    @property
+    def gain(self) -> float:
+        return self.xftp_time / self.softstage_time if self.softstage_time else 0.0
+
+
+@dataclass
+class GainSeries:
+    """A full micro-benchmark series (one figure panel)."""
+
+    title: str
+    parameter: str
+    rows: list[GainRow] = field(default_factory=list)
+
+    def add(self, label, xftp_time, softstage_time, paper_gain=None) -> GainRow:
+        row = GainRow(str(label), xftp_time, softstage_time, paper_gain)
+        self.rows.append(row)
+        return row
+
+    def render(self) -> str:
+        header = (
+            f"{self.parameter:>18} | {'Xftp (s)':>9} | {'SoftStage (s)':>13} | "
+            f"{'gain':>6} | {'paper':>6}"
+        )
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            paper = f"{row.paper_gain:.2f}x" if row.paper_gain is not None else "-"
+            lines.append(
+                f"{row.label:>18} | {row.xftp_time:9.1f} | {row.softstage_time:13.1f} | "
+                f"{row.gain:5.2f}x | {paper:>6}"
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A generic fixed-width table."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    formatted_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match headers {headers!r}")
+        cells = [
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        formatted_rows.append(cells)
+    header_line = " | ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(header_line)
+    lines = [title, rule, header_line, rule]
+    for cells in formatted_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    lines.append(rule)
+    return "\n".join(lines)

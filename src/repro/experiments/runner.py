@@ -1,0 +1,79 @@
+"""Running one experiment: build scenario, run download, collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.client import DownloadResult
+from repro.core.handoff import HandoffPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.params import MicrobenchParams
+from repro.experiments.scenario import TestbedScenario
+from repro.mobility.coverage import Coverage
+
+
+@dataclass
+class ExperimentResult:
+    """One (system, parameter-point, seed) measurement."""
+
+    system: str
+    seed: int
+    download: DownloadResult
+    #: Simulated seconds to finish (or reach the deadline).
+    download_time: float
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.download.throughput_bps
+
+
+def run_download(
+    system: str,
+    params: Optional[MicrobenchParams] = None,
+    seed: int = 0,
+    coverage: Optional[Coverage] = None,
+    deadline: Optional[float] = None,
+    handoff_policy: Optional[HandoffPolicy] = None,
+    with_vnf: bool = True,
+    num_edges: int = 2,
+    segment_scale: int = 1,
+) -> ExperimentResult:
+    """Build a fresh testbed and run one full download.
+
+    ``system`` is ``"softstage"`` or ``"xftp"``.  ``segment_scale`` > 1
+    runs the transport in coarse-grained segment mode (see
+    :meth:`repro.transport.config.TransportConfig.scaled`).
+    """
+    from repro.transport.config import XIA_CHUNK
+
+    scenario = TestbedScenario(
+        params=params,
+        seed=seed,
+        num_edges=num_edges,
+        coverage=coverage,
+        with_vnf=with_vnf,
+        transport_config=XIA_CHUNK.scaled(segment_scale),
+    )
+    content = scenario.publish_default_content()
+    if system == "softstage":
+        client = scenario.make_softstage_client(handoff_policy=handoff_policy)
+    elif system == "xftp":
+        client = scenario.make_xftp_client()
+    else:
+        raise ConfigurationError(f"unknown system {system!r}")
+    process = scenario.sim.process(client.download(content, deadline=deadline))
+    download: DownloadResult = scenario.sim.run(until=process)
+    return ExperimentResult(
+        system=system,
+        seed=seed,
+        download=download,
+        download_time=download.duration,
+    )
+
+
+def gain(xftp_time: float, softstage_time: float) -> float:
+    """The paper's headline metric: Xftp time / SoftStage time."""
+    if softstage_time <= 0:
+        raise ConfigurationError("softstage_time must be positive")
+    return xftp_time / softstage_time

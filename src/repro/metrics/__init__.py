@@ -1,0 +1,17 @@
+"""Measurement helpers: collectors and summary statistics."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import (
+    confidence_interval_95,
+    mean,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "confidence_interval_95",
+    "mean",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,74 @@
+"""A per-run metrics collector: named counters, series and samples."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.metrics.stats import Summary, summarize
+from repro.sim import Monitor, Simulator, TimeSeries
+
+
+class MetricsCollector:
+    """Aggregates counters, sample monitors and time series by name."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim
+        self.counters: dict[str, float] = defaultdict(float)
+        self._monitors: dict[str, Monitor] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._samples: dict[str, list[float]] = defaultdict(list)
+
+    # -- counters -----------------------------------------------------------
+
+    def count(self, name: str, increment: float = 1.0) -> None:
+        self.counters[name] += increment
+
+    # -- samples -------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        self._samples[name].append(value)
+        monitor = self._monitors.get(name)
+        if monitor is None:
+            monitor = self._monitors[name] = Monitor(name)
+        monitor.observe(value)
+
+    def samples(self, name: str) -> list[float]:
+        return list(self._samples.get(name, []))
+
+    def monitor(self, name: str) -> Monitor:
+        try:
+            return self._monitors[name]
+        except KeyError:
+            raise KeyError(f"no observations named {name!r}") from None
+
+    def summary(self, name: str) -> Summary:
+        return summarize(self.samples(name))
+
+    # -- time series ------------------------------------------------------------
+
+    def record(self, name: str, value: float, time: Optional[float] = None) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        if time is None:
+            if self.sim is None:
+                raise ValueError("no simulator attached; pass time explicitly")
+            time = self.sim.now
+        series.record(time, value)
+
+    def series(self, name: str) -> TimeSeries:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise KeyError(f"no series named {name!r}") from None
+
+    def report(self) -> dict[str, object]:
+        """A flat snapshot for printing or JSON dumping."""
+        out: dict[str, object] = dict(self.counters)
+        for name, monitor in self._monitors.items():
+            if monitor.count:
+                out[f"{name}.mean"] = monitor.mean
+                out[f"{name}.min"] = monitor.minimum
+                out[f"{name}.max"] = monitor.maximum
+        return out

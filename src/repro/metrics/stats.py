@@ -1,0 +1,68 @@
+"""Summary statistics for experiment results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of the normal-approximation 95% CI of the mean."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    variance = sum((v - m) ** 2 for v in values) / (len(values) - 1)
+    return 1.96 * math.sqrt(variance / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    p25: float
+    p50: float
+    p75: float
+    minimum: float
+    maximum: float
+    ci95: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """The descriptive statistics the paper reports for its traces."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        p25=percentile(values, 25),
+        p50=percentile(values, 50),
+        p75=percentile(values, 75),
+        minimum=min(values),
+        maximum=max(values),
+        ci95=confidence_interval_95(values),
+    )

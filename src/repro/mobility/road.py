@@ -1,0 +1,89 @@
+"""A 1-D road model: AP placement + vehicle speed -> coverage.
+
+This turns geometry into the coverage timelines the rest of the system
+consumes: APs sit at positions along a road, the vehicle drives at a
+constant speed, and an AP is audible while the mean RSS exceeds the
+client sensitivity.  Each drive-by is discretized into short coverage
+windows whose RSS follows the path-loss model, so RSS-based handoff
+policies see realistic rise-and-fall signal shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.mobility.coverage import Coverage, CoverageWindow
+from repro.mobility.rss import PathLossModel
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RoadsideAp:
+    """An AP at ``position`` meters along the road."""
+
+    name: str
+    position: float
+    #: Lateral offset from the road, meters (defines minimum distance).
+    offset: float = 10.0
+
+
+class RoadModel:
+    """Constant-speed drive past roadside APs."""
+
+    def __init__(
+        self,
+        aps: Sequence[RoadsideAp],
+        speed_mps: float,
+        path_loss: PathLossModel | None = None,
+        sensitivity_dbm: float = -85.0,
+        window_resolution: float = 1.0,
+    ) -> None:
+        if not aps:
+            raise ConfigurationError("need at least one roadside AP")
+        check_positive("speed_mps", speed_mps)
+        check_positive("window_resolution", window_resolution)
+        self.aps = list(aps)
+        self.speed = speed_mps
+        self.path_loss = path_loss or PathLossModel()
+        self.sensitivity = sensitivity_dbm
+        self.resolution = window_resolution
+
+    def _distance(self, ap: RoadsideAp, time: float) -> float:
+        along = abs(self.speed * time - ap.position)
+        return max((along**2 + ap.offset**2) ** 0.5, 0.1)
+
+    def coverage(self, duration: float) -> Coverage:
+        """Discretized coverage windows for a drive of ``duration``."""
+        check_positive("duration", duration)
+        in_range = self.path_loss.range_for_rss(self.sensitivity)
+        windows: list[CoverageWindow] = []
+        for ap in self.aps:
+            # Solve |v t - x|^2 + offset^2 <= range^2 for t.
+            if in_range <= ap.offset:
+                continue
+            half = (in_range**2 - ap.offset**2) ** 0.5
+            enter = max((ap.position - half) / self.speed, 0.0)
+            leave = min((ap.position + half) / self.speed, duration)
+            if leave <= enter:
+                continue
+            # Discretize into resolution-sized RSS segments.
+            cursor = enter
+            while cursor < leave:
+                segment_end = min(cursor + self.resolution, leave)
+                rss_start = self.path_loss.rss_dbm(self._distance(ap, cursor))
+                rss_end = self.path_loss.rss_dbm(self._distance(ap, segment_end))
+                windows.append(
+                    CoverageWindow(ap.name, cursor, segment_end, rss_start, rss_end)
+                )
+                cursor = segment_end
+        return Coverage(windows)
+
+    def encounter_time(self, ap: RoadsideAp) -> float:
+        """Duration the given AP stays above sensitivity."""
+        in_range = self.path_loss.range_for_rss(self.sensitivity)
+        if in_range <= ap.offset:
+            return 0.0
+        half = (in_range**2 - ap.offset**2) ** 0.5
+        return 2 * half / self.speed

@@ -1,0 +1,47 @@
+"""Received-signal-strength modeling (log-distance path loss)."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with optional log-normal shadowing.
+
+    ``rss(d) = tx_power_dbm - pl_d0 - 10 n log10(d / d0) [- shadowing]``
+    """
+
+    tx_power_dbm: float = 20.0
+    #: Path loss at the reference distance, dB.
+    pl_d0: float = 40.0
+    #: Reference distance, meters.
+    d0: float = 1.0
+    #: Path-loss exponent (urban street canyon ~ 2.7-3.5).
+    exponent: float = 3.0
+    #: Shadowing standard deviation, dB (0 disables).
+    shadowing_sigma: float = 0.0
+
+    def rss_dbm(self, distance: float, rng: Optional[random.Random] = None) -> float:
+        check_positive("distance", distance)
+        distance = max(distance, self.d0)
+        rss = (
+            self.tx_power_dbm
+            - self.pl_d0
+            - 10 * self.exponent * math.log10(distance / self.d0)
+        )
+        if self.shadowing_sigma > 0 and rng is not None:
+            rss += rng.gauss(0.0, self.shadowing_sigma)
+        return rss
+
+    def range_for_rss(self, rss_threshold_dbm: float) -> float:
+        """Distance at which mean RSS crosses the threshold."""
+        exponent_term = (
+            self.tx_power_dbm - self.pl_d0 - rss_threshold_dbm
+        ) / (10 * self.exponent)
+        return self.d0 * 10**exponent_term

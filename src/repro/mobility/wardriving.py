@@ -1,0 +1,60 @@
+"""Synthetic Beijing wardriving traces (Fig. 7(a)).
+
+The paper wardrives popular Beijing street blocks, keeps only
+cellular-operator APs, and observes two regimes: "network coverage
+either reaches above 80%, or less than 2%".  The trace-driven
+experiment uses two traces from the high-coverage regime with
+*different connectivity patterns*.  We synthesize both:
+
+- ``trace 1`` — dense small cells: long encounters (20-60 s) with
+  short gaps (2-10 s), coverage ≈ 85%;
+- ``trace 2`` — clustered deployment: alternating well-covered
+  stretches and streets with repeated medium gaps, coverage ≈ 80% with
+  a choppier rhythm (many short encounters).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mobility.traces import ConnectivityTrace
+from repro.util.validation import check_positive
+
+
+class WardrivingSynthesizer:
+    """Generates the two Fig. 7(a)-style high-coverage traces."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def trace_one(self, duration: float = 300.0) -> ConnectivityTrace:
+        """Dense small cells: medium encounters, short gaps (~85%)."""
+        check_positive("duration", duration)
+        intervals = []
+        cursor = self.rng.uniform(0.0, 3.0)
+        while cursor < duration:
+            encounter = self.rng.uniform(4.0, 12.0)
+            end = min(cursor + encounter, duration)
+            intervals.append((cursor, end))
+            cursor = end + self.rng.uniform(1.0, 3.5)
+        return ConnectivityTrace(intervals, duration)
+
+    def trace_two(self, duration: float = 300.0) -> ConnectivityTrace:
+        """Clustered coverage: bursts of short encounters, medium gaps
+        between covered stretches (~80%, choppier rhythm)."""
+        check_positive("duration", duration)
+        intervals = []
+        cursor = self.rng.uniform(0.0, 3.0)
+        while cursor < duration:
+            # A covered stretch: several back-to-back APs with tiny gaps.
+            burst_aps = self.rng.randint(3, 6)
+            for _ in range(burst_aps):
+                if cursor >= duration:
+                    break
+                encounter = self.rng.uniform(3.0, 8.0)
+                end = min(cursor + encounter, duration)
+                intervals.append((cursor, end))
+                cursor = end + self.rng.uniform(0.8, 2.0)
+            # Then a street with no operator APs.
+            cursor += self.rng.uniform(5.0, 12.0)
+        return ConnectivityTrace(intervals, duration)

@@ -1,0 +1,39 @@
+"""Packet-level network substrate.
+
+Provides the physical/link layer the XIA forwarding engine runs over:
+
+- :mod:`repro.net.loss` — per-packet loss processes (Bernoulli and
+  bursty Gilbert-Elliott fading);
+- :mod:`repro.net.link` — point-to-point links with store-and-forward
+  serialization, propagation delay, bounded queues;
+- :mod:`repro.net.wireless` — an 802.11-style link with MAC efficiency
+  and link-layer ARQ that hides most (not all) channel loss;
+- :mod:`repro.net.processing` — per-node packet-processing costs (the
+  kernel-vs-user-level-daemon distinction behind the paper's Fig. 5);
+- :mod:`repro.net.nodes` — devices (hosts, routers, access points);
+- :mod:`repro.net.topology` — the network graph, NID registry and route
+  computation;
+- :mod:`repro.net.emulation` — the paper's loss-based Internet
+  bandwidth shaper.
+"""
+
+from repro.net.link import Link, Port
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.nodes import Device, Host
+from repro.net.processing import ProcessingModel
+from repro.net.topology import Network
+from repro.net.wireless import WirelessLink
+
+__all__ = [
+    "BernoulliLoss",
+    "Device",
+    "GilbertElliottLoss",
+    "Host",
+    "Link",
+    "LossModel",
+    "Network",
+    "NoLoss",
+    "Port",
+    "ProcessingModel",
+    "WirelessLink",
+]

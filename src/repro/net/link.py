@@ -1,0 +1,287 @@
+"""Point-to-point links with serialization, delay, loss and queues.
+
+A :class:`Link` is full duplex: it owns two :class:`Port` objects (one
+per endpoint) and two independent :class:`LinkDirection` pipes.  A port
+belongs to a device; sending on a port feeds the outgoing pipe, which
+serializes packets at the link bandwidth, applies the loss model, waits
+the propagation delay and finally hands the packet to the peer port's
+device.
+
+Links can be taken down (``set_up(False)``) to model disconnection;
+queued and in-flight packets are then dropped, like a radio going out
+of range.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.sim.core import Event
+from repro.net.loss import LossModel, NoLoss
+from repro.util.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.nodes import Device
+    from repro.xia.packet import Packet
+
+
+class LinkStats:
+    """Per-direction counters."""
+
+    __slots__ = (
+        "sent_packets",
+        "sent_bytes",
+        "delivered_packets",
+        "delivered_bytes",
+        "dropped_loss",
+        "dropped_queue",
+        "dropped_down",
+        "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.dropped_loss = 0
+        self.dropped_queue = 0
+        self.dropped_down = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class Port:
+    """A device's attachment point to one end of a link."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.device: Optional["Device"] = None
+        self.link: Optional["Link"] = None
+        self._out: Optional["LinkDirection"] = None
+        self.peer: Optional["Port"] = None
+
+    @property
+    def is_up(self) -> bool:
+        return self.link is not None and self.link.is_up
+
+    def send(self, packet: "Packet") -> None:
+        """Queue ``packet`` for transmission toward the peer."""
+        if self._out is None:
+            raise ConfigurationError(f"port {self.name!r} is not connected")
+        self._out.enqueue(packet)
+
+    def deliver(self, packet: "Packet") -> None:
+        """Called by the incoming pipe when a packet arrives here."""
+        if self.device is not None:
+            self.device.receive(packet, self)
+
+    def __repr__(self) -> str:
+        owner = self.device.name if self.device else "unattached"
+        return f"<Port {self.name} of {owner}>"
+
+
+class LinkDirection:
+    """A one-way pipe: FIFO queue + serialization + delay + loss."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Port,
+        sink: Port,
+        bandwidth_bps: float,
+        delay: float,
+        loss: Optional[LossModel] = None,
+        queue_bytes: float = 512_000,
+    ) -> None:
+        self.sim = sim
+        self.source = source
+        self.sink = sink
+        self.bandwidth_bps = check_positive("bandwidth_bps", bandwidth_bps)
+        self.delay = check_non_negative("delay", delay)
+        self.loss = loss if loss is not None else NoLoss()
+        self.queue_limit_bytes = check_positive("queue_bytes", queue_bytes)
+        self.stats = LinkStats()
+        self._queue: deque["Packet"] = deque()
+        self._queued_bytes = 0
+        self._transmitting = False
+        #: Optional shared-medium resource (half-duplex links set this
+        #: to one Resource shared by both directions).
+        self.medium = None
+
+    # -- queueing -----------------------------------------------------------
+
+    def enqueue(self, packet: "Packet") -> None:
+        if not self.source.is_up:
+            self.stats.dropped_down += 1
+            return
+        if self._queued_bytes + packet.size_bytes > self.queue_limit_bytes:
+            self.stats.dropped_queue += 1
+            return
+        self._queue.append(packet)
+        self._queued_bytes += packet.size_bytes
+        if not self._transmitting:
+            self._transmitting = True
+            self._begin_next()
+
+    def clear(self) -> None:
+        """Drop everything queued (link went down)."""
+        self.stats.dropped_down += len(self._queue)
+        self._queue.clear()
+        self._queued_bytes = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- transmission ---------------------------------------------------------
+
+    def _begin_next(self) -> None:
+        """Start serializing the head-of-line packet (callback-driven:
+        the transmit path creates no generator processes)."""
+        if not self._queue:
+            self._transmitting = False
+            return
+        if self.medium is not None:
+            request = self.medium.request()
+            request.callbacks.append(lambda event: self._transmit(request))
+        else:
+            self._transmit(None)
+
+    def _transmit(self, medium_request) -> None:
+        if not self._queue:
+            # The link went down (queue cleared) while we waited for
+            # the medium.
+            if medium_request is not None:
+                self.medium.release(medium_request)
+            self._transmitting = False
+            return
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.size_bytes
+        airtime = self.airtime(packet)
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += packet.size_bytes
+        self.stats.busy_time += airtime
+        done = Event(self.sim, name="tx-done")
+        done.callbacks.append(
+            lambda event: self._tx_complete(packet, medium_request)
+        )
+        done.succeed(delay=airtime)
+
+    def _tx_complete(self, packet: "Packet", medium_request) -> None:
+        if medium_request is not None:
+            self.medium.release(medium_request)
+        if not self.source.is_up:
+            self.stats.dropped_down += 1
+        elif self.sample_loss(packet):
+            self.stats.dropped_loss += 1
+        else:
+            # Propagation: one bare event delivering at the far end.
+            arrival = Event(self.sim, name="arrival")
+            arrival.callbacks.append(self._make_delivery(packet))
+            arrival.succeed(delay=self.delay)
+        self._begin_next()
+
+    def _make_delivery(self, packet: "Packet"):
+        def deliver(event: Event) -> None:
+            if not self.source.is_up:
+                self.stats.dropped_down += 1
+                return
+            self.stats.delivered_packets += 1
+            self.stats.delivered_bytes += packet.size_bytes
+            self.sink.deliver(packet)
+
+        return deliver
+
+    # -- hooks for subclasses ----------------------------------------------------
+
+    def airtime(self, packet: "Packet") -> float:
+        """Time the medium is occupied sending ``packet``."""
+        return packet.size_bytes * 8 / self.bandwidth_bps
+
+    def sample_loss(self, packet: "Packet") -> bool:
+        """Whether the packet is lost after (any) link-layer recovery."""
+        return self.loss.dropped(self.sim.now)
+
+
+class Link:
+    """A full-duplex point-to-point link between two devices."""
+
+    direction_class = LinkDirection
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float,
+        delay: float,
+        loss_a_to_b: Optional[LossModel] = None,
+        loss_b_to_a: Optional[LossModel] = None,
+        queue_bytes: float = 512_000,
+        **direction_kwargs,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._up = True
+        self.port_a = Port(sim, f"{name}.a")
+        self.port_b = Port(sim, f"{name}.b")
+        self.forward = self.direction_class(
+            sim,
+            self.port_a,
+            self.port_b,
+            bandwidth_bps,
+            delay,
+            loss=loss_a_to_b,
+            queue_bytes=queue_bytes,
+            **direction_kwargs,
+        )
+        self.backward = self.direction_class(
+            sim,
+            self.port_b,
+            self.port_a,
+            bandwidth_bps,
+            delay,
+            loss=loss_b_to_a,
+            queue_bytes=queue_bytes,
+            **direction_kwargs,
+        )
+        self.port_a.link = self
+        self.port_a._out = self.forward
+        self.port_a.peer = self.port_b
+        self.port_b.link = self
+        self.port_b._out = self.backward
+        self.port_b.peer = self.port_a
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Bring the link up or down; going down drops queued packets."""
+        if self._up and not up:
+            self.forward.clear()
+            self.backward.clear()
+        self._up = up
+
+    def attach(self, device_a: "Device", device_b: "Device") -> None:
+        """Hand each endpoint port to its device."""
+        device_a.add_port(self.port_a)
+        device_b.add_port(self.port_b)
+
+    @property
+    def propagation_delay(self) -> float:
+        return self.forward.delay
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.forward.bandwidth_bps
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        return f"<Link {self.name} {self.bandwidth_bps / 1e6:.1f}Mbps {state}>"

@@ -1,0 +1,179 @@
+"""Devices: the things ports attach to.
+
+:class:`Device` is the base: it owns ports, a processing-cost model and
+a receive path.  :class:`Host` adds endpoint behaviour — an HID, packet
+demultiplexing to transport sessions and control-plane handlers, and
+multihoming (the SoftStage client uses a *data* interface and a
+*sensor* interface, §II-B).
+
+Routers are devices too, but they carry an XIA forwarding engine and
+live in :mod:`repro.xia.router`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.net.link import Port
+from repro.net.processing import ProcessingModel
+from repro.sim import Simulator
+
+
+def _trace_enabled() -> bool:
+    from repro.xia import packet as packet_module
+
+    return packet_module.TRACE_PACKETS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xia.ids import XID
+    from repro.xia.packet import Packet, PacketType
+
+
+class Device:
+    """A network element with ports and a packet-processing budget."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        processing: Optional[ProcessingModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: list[Port] = []
+        self.processing = processing or ProcessingModel(sim)
+        self.received_packets = 0
+
+    def add_port(self, port: Port) -> Port:
+        port.device = self
+        self.ports.append(port)
+        return port
+
+    def port(self, index: int = 0) -> Port:
+        try:
+            return self.ports[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"{self.name} has no port {index} (has {len(self.ports)})"
+            ) from None
+
+    # -- receive path ------------------------------------------------------
+
+    def receive(self, packet: "Packet", port: Port) -> None:
+        """Entry point from the link layer; applies processing cost."""
+        self.received_packets += 1
+        delay = self.processing.admit()
+        if delay > 0:
+            from repro.sim.core import Event
+
+            ready = Event(self.sim, name="cpu")
+            ready.callbacks.append(
+                lambda event: self.handle_packet(packet, port)
+            )
+            ready.succeed(delay=delay)
+        else:
+            self.handle_packet(packet, port)
+
+    def handle_packet(self, packet: "Packet", port: Port) -> None:
+        """Override: what to do with a received packet."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} {self.name}>"
+
+
+class Host(Device):
+    """An end host: an HID, sessions, handlers, possibly multihomed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        hid: "XID",
+        processing: Optional[ProcessingModel] = None,
+    ) -> None:
+        super().__init__(sim, name, processing=processing)
+        self.hid = hid
+        #: NID of the network each port is currently attached to
+        #: (maintained by the topology / mobility layer).
+        self.port_nids: dict[Port, "XID"] = {}
+        self._session_handlers: dict[int, Callable[["Packet", Port], None]] = {}
+        self._type_handlers: dict["PacketType", Callable[["Packet", Port], None]] = {}
+        self._active_port_index = 0
+        self.dropped_unhandled = 0
+        self.dropped_misaddressed = 0
+
+    # -- ports / multihoming ---------------------------------------------------
+
+    @property
+    def active_port(self) -> Port:
+        """The interface used for data transfer."""
+        return self.port(self._active_port_index)
+
+    def set_active_port(self, index: int) -> None:
+        if not 0 <= index < len(self.ports):
+            raise ConfigurationError(f"{self.name}: no port {index}")
+        self._active_port_index = index
+
+    def nid_of(self, port: Port) -> Optional["XID"]:
+        return self.port_nids.get(port)
+
+    @property
+    def current_nid(self) -> Optional["XID"]:
+        """NID the data interface is attached to (None when offline)."""
+        port = self.active_port
+        if not port.is_up:
+            return None
+        return self.port_nids.get(port)
+
+    def send(self, packet: "Packet", port: Optional[Port] = None) -> None:
+        """Transmit on ``port`` (default: the data interface)."""
+        (port or self.active_port).send(packet)
+
+    # -- demultiplexing ---------------------------------------------------------
+
+    def register_session(
+        self, session_id: int, handler: Callable[["Packet", Port], None]
+    ) -> None:
+        self._session_handlers[session_id] = handler
+
+    def unregister_session(self, session_id: int) -> None:
+        self._session_handlers.pop(session_id, None)
+
+    def register_handler(
+        self, ptype: "PacketType", handler: Callable[["Packet", Port], None]
+    ) -> None:
+        self._type_handlers[ptype] = handler
+
+    def _addressed_to_me(self, packet: "Packet") -> bool:
+        """Whether this host is a legitimate destination of the packet:
+        its HID is the intent or appears on a fallback route (a CID/SID
+        intent with our HID as fallback is how chunk requests reach the
+        origin server)."""
+        dst = packet.dst
+        if dst.intent == self.hid:
+            return True
+        for route in dst.routes:
+            for waypoint in route:
+                if waypoint == self.hid:
+                    return True
+        return False
+
+    def handle_packet(self, packet: "Packet", port: Port) -> None:
+        packet.hop_count += 1
+        if _trace_enabled():
+            packet.trace.append(self.name)
+        if not self._addressed_to_me(packet):
+            self.dropped_misaddressed += 1
+            return
+        if packet.session_id is not None:
+            handler = self._session_handlers.get(packet.session_id)
+            if handler is not None:
+                handler(packet, port)
+                return
+        handler = self._type_handlers.get(packet.ptype)
+        if handler is not None:
+            handler(packet, port)
+            return
+        self.dropped_unhandled += 1

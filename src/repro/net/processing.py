@@ -1,0 +1,57 @@
+"""Per-node packet-processing cost model.
+
+The XIA prototype runs as a user-level Click daemon, so each packet
+pays a context-switch/copy cost that kernel TCP does not.  This is the
+mechanism behind the paper's Fig. 5 (Xstream caps at ~66 Mbps on a
+wired segment where Linux TCP reaches ~95 Mbps).  We model a node's
+packet path as a single server: each packet needs ``per_packet_seconds``
+of CPU, packets queue FIFO for it, and the resulting delay is what the
+node adds before a packet can be forwarded or delivered.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+from repro.util.validation import check_non_negative
+
+
+class ProcessingModel:
+    """A single-server CPU for a node's packet path."""
+
+    def __init__(self, sim: Simulator, per_packet_seconds: float = 0.0) -> None:
+        self.sim = sim
+        self.per_packet_seconds = check_non_negative(
+            "per_packet_seconds", per_packet_seconds
+        )
+        self._busy_until = 0.0
+        self.packets_processed = 0
+
+    @property
+    def max_packet_rate(self) -> float:
+        """Packets/second ceiling implied by the per-packet cost."""
+        if self.per_packet_seconds == 0:
+            return float("inf")
+        return 1.0 / self.per_packet_seconds
+
+    def admit(self) -> float:
+        """Account for one packet; return the total delay it incurs.
+
+        The delay is queueing (waiting for the CPU to drain earlier
+        packets) plus the packet's own service time.
+        """
+        self.packets_processed += 1
+        if self.per_packet_seconds == 0:
+            return 0.0
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.per_packet_seconds
+        return self._busy_until - now
+
+    def __repr__(self) -> str:
+        return f"ProcessingModel(per_packet={self.per_packet_seconds * 1e6:.1f}us)"
+
+
+#: Convenience presets (seconds per packet), calibrated in
+#: :mod:`repro.experiments.calibration` against the paper's Fig. 5.
+KERNEL_STACK_COST = 1.5e-6       # native Linux TCP path
+USER_DAEMON_COST = 175e-6        # XIA Click user-level daemon data path

@@ -1,0 +1,243 @@
+"""Event loop and event primitives for the simulation kernel.
+
+The kernel is intentionally small: a binary-heap event queue keyed on
+``(time, priority, sequence)`` and an :class:`Event` type that carries
+callbacks.  Processes (see :mod:`repro.sim.process`) are generators that
+yield events; the simulator resumes them when the yielded event fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+#: Scheduling priorities.  Lower values run earlier at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+PENDING = object()  #: sentinel: event value not yet set
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` schedules it; once the simulator pops it off the queue
+    it becomes *processed* and its callbacks run.  Callbacks receive the
+    event itself.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._processed = False
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to fire successfully after ``delay``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule the event to fire as a failure carrying ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = (
+            "processed" if self._processed
+            else "scheduled" if self._scheduled
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process = None  # set by Process while running
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the queue ``delay`` seconds ahead."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if event._scheduled:
+            raise SimulationError(f"event {event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event as being processed
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a timestamp, or an event fires.
+
+        Returns the value of ``until`` when ``until`` is an event.
+        """
+        stop_at = float("inf")
+        stop_is_timestamp = False
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed: return its value immediately.
+                return until.value if until.ok else _reraise(until.value)
+            until.callbacks.append(_stop_simulation)
+        elif until is not None:
+            stop_at = float(until)
+            stop_is_timestamp = True
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_is_timestamp:
+            self._now = stop_at
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError("run() finished but the until-event never fired")
+        return None
+
+    # -- event factories -----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """An event that fires ``delay`` seconds from now."""
+        from repro.sim.primitives import Timeout
+
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator) -> "Event":
+        """Start ``generator`` as a process; returns its Process event."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        from repro.sim.primitives import AnyOf
+
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        from repro.sim.primitives import AllOf
+
+        return AllOf(self, list(events))
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now:.6f} pending={len(self._queue)}>"
+
+
+def _stop_simulation(event: Event) -> None:
+    if event.ok:
+        raise StopSimulation(event.value)
+    raise event.value
+
+
+def _reraise(exc: BaseException) -> Any:
+    raise exc

@@ -1,0 +1,108 @@
+"""Measurement probes: time series and scalar monitors."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"non-monotonic sample time {time} < {self.times[-1]} in {self.name!r}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean, treating the series as a step function."""
+        if not self.values:
+            raise ValueError(f"empty time series {self.name!r}")
+        end = self.times[-1] if until is None else until
+        if len(self.values) == 1 or end <= self.times[0]:
+            return self.values[0]
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        total += self.values[-1] * (end - self.times[-1])
+        return total / (end - self.times[0])
+
+    def value_at(self, time: float) -> float:
+        """Step-function value at ``time`` (last sample at or before it)."""
+        if not self.times or time < self.times[0]:
+            raise ValueError(f"no sample at or before t={time} in {self.name!r}")
+        # Binary search for rightmost sample <= time.
+        lo, hi = 0, len(self.times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.values[lo]
+
+
+class Monitor:
+    """Streaming scalar statistics (count/mean/variance/min/max)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return f"<Monitor {self.name!r} empty>"
+        return (
+            f"<Monitor {self.name!r} n={self.count} mean={self.mean:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g}>"
+        )

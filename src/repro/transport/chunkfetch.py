@@ -1,0 +1,230 @@
+"""The chunk request/serve protocol (XfetchChunk's data path).
+
+A client fetches a chunk by sending a CHUNK_REQUEST addressed to the
+chunk's DAG (``CID | NID : HID``).  Whatever device first resolves the
+CID — an edge cache holding the staged chunk, or the origin server via
+the fallback path — answers by streaming the chunk back over a
+:class:`~repro.transport.reliable.SenderSession`.  The request is
+retransmitted until data starts flowing; the received chunk is hash-
+verified against its CID before the fetch completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ChunkIntegrityError, TransportError
+from repro.sim import Simulator
+from repro.transport.config import TransportConfig
+from repro.transport.reliable import ReceiverSession, TransportEndpoint, new_session_id
+from repro.xia.dag import DagAddress
+from repro.xia.ids import XID
+from repro.xia.packet import Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Port
+    from repro.net.nodes import Host
+    from repro.xcache.store import ContentStore
+    from repro.xia.router import XIARouter
+
+
+@dataclass
+class FetchOutcome:
+    """What a completed chunk fetch reports back to the application."""
+
+    cid: XID
+    bytes_received: int
+    duration: float
+    request_attempts: int
+    served_by_hid: Optional[XID]
+    served_by_nid: Optional[XID]
+    #: Time from (final) request to first data packet — the client's
+    #: working estimate of the RTT to wherever the chunk came from.
+    first_data_latency: float
+    #: The received (and CID-verified) chunk object, when the transfer
+    #: carried one.
+    chunk: Optional[object] = None
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.duration <= 0:
+            return float("inf")
+        return self.bytes_received * 8 / self.duration
+
+
+class ChunkFetcher:
+    """Client-side fetch engine: request, receive, verify."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: TransportEndpoint,
+        config: Optional[TransportConfig] = None,
+        wait_for_connectivity=None,
+    ) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.config = config or endpoint.config
+        #: Optional hook: returns None when the client is online, or an
+        #: event that fires on (re)attachment.  Requests are deferred
+        #: while offline instead of burning the retry budget.
+        self.wait_for_connectivity = wait_for_connectivity
+        self.fetches_started = 0
+        self.fetches_completed = 0
+        self.fetches_failed = 0
+
+    def fetch(self, address: DagAddress, local_dag: Optional[DagAddress] = None):
+        """Process: fetch the chunk at ``address``; returns FetchOutcome.
+
+        Yields inside a simulation process.  Raises
+        :class:`TransportError` when the request cannot be answered
+        within the retry budget.
+        """
+        config = self.config
+        started_at = self.sim.now
+        self.fetches_started += 1
+        if config.per_chunk_overhead > 0:
+            # Client-side chunk-context setup (daemon IPC round trips).
+            yield self.sim.timeout(config.per_chunk_overhead)
+        session_id = new_session_id()
+        receiver = self.endpoint.open_receiver(session_id, config=config)
+
+        attempts = 0
+        last_request_at = started_at
+        while not receiver.started.triggered:
+            if self.wait_for_connectivity is not None:
+                gate = self.wait_for_connectivity()
+                if gate is not None:
+                    yield self.sim.any_of([gate, receiver.started])
+                    continue
+            if attempts >= config.request_retries:
+                self.endpoint.close_session(session_id)
+                self.fetches_failed += 1
+                raise TransportError(
+                    f"chunk request for {address.intent.short} got no answer "
+                    f"after {attempts} attempts"
+                )
+            attempts += 1
+            last_request_at = self.sim.now
+            self._send_request(address, session_id, local_dag)
+            yield self.sim.any_of(
+                [receiver.started, self.sim.timeout(config.request_timeout)]
+            )
+
+        first_data_latency = self.sim.now - last_request_at
+        yield receiver.done
+        meta = receiver.first_data_meta or {}
+
+        # Receiver-side CID verification (hashing the reassembled chunk).
+        if config.verify_rate != float("inf") and receiver.bytes_received > 0:
+            yield self.sim.timeout(receiver.bytes_received / config.verify_rate)
+        chunk = meta.get("chunk")
+        if chunk is not None and not chunk.verify(address.intent):
+            self.fetches_failed += 1
+            raise ChunkIntegrityError(
+                f"chunk from {meta.get('server_hid')} does not hash to "
+                f"{address.intent.short}"
+            )
+
+        self.fetches_completed += 1
+        return FetchOutcome(
+            cid=address.intent,
+            bytes_received=receiver.bytes_received,
+            duration=self.sim.now - started_at,
+            request_attempts=attempts,
+            served_by_hid=meta.get("server_hid"),
+            served_by_nid=meta.get("server_nid"),
+            first_data_latency=first_data_latency,
+            chunk=chunk,
+        )
+
+    def _send_request(
+        self,
+        address: DagAddress,
+        session_id: int,
+        local_dag: Optional[DagAddress],
+    ) -> None:
+        host = self.endpoint.host
+        if local_dag is None:
+            nid = getattr(host, "nid", None) or getattr(host, "current_nid", None)
+            local_dag = DagAddress.host(host.hid, nid)
+        request = Packet(
+            PacketType.CHUNK_REQUEST,
+            dst=address,
+            src=local_dag,
+            payload={"session": session_id},
+            size_bytes=self.config.ack_bytes + 40,
+            created_at=self.sim.now,
+        )
+        host.send(request)
+
+
+class CacheDaemon:
+    """Serves CHUNK_REQUESTs from a content store (XCache's serve path).
+
+    Attach to the origin server host (all published chunks) or to an
+    edge router (staged/cached chunks).  Duplicate requests for an
+    in-flight session are absorbed by the sender's idempotent start.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: "Host",
+        store: "ContentStore",
+        endpoint: TransportEndpoint,
+        nid: Optional[XID] = None,
+        unpin_on_serve: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.store = store
+        self.endpoint = endpoint
+        self.nid = nid if nid is not None else getattr(node, "nid", None)
+        self.unpin_on_serve = unpin_on_serve
+        self.requests_served = 0
+        self.requests_missed = 0
+        self._install()
+
+    def _install(self) -> None:
+        from repro.xia.router import XIARouter
+
+        if isinstance(self.node, XIARouter):
+            self.node.content_store = self.store
+            self.node.cid_request_handler = self.handle_request
+        else:
+            self.node.register_handler(PacketType.CHUNK_REQUEST, self.handle_request)
+
+    def handle_request(self, packet: Packet, port: "Port") -> None:
+        cid = packet.dst.intent
+        chunk = self.store.peek(cid)
+        if chunk is None:
+            self.requests_missed += 1
+            return
+        self.store.get(cid)  # count the hit / refresh recency
+        session_id = int(packet.payload["session"])
+        already_running = session_id in self.endpoint.senders
+        sender = self.endpoint.start_send(
+            session_id,
+            dst=packet.src,
+            src=self._local_dag(),
+            total_bytes=chunk.size_bytes,
+            meta={
+                "chunk": chunk,
+                "server_hid": self.node.hid,
+                "server_nid": self.nid,
+            },
+        )
+        if already_running:
+            # A re-sent request: the client may have moved before any
+            # data reached it — restart the stream toward its current
+            # address.
+            sender.redirect(packet.src)
+        if not already_running:
+            self.requests_served += 1
+            if self.unpin_on_serve:
+                self.store.unpin(cid)
+
+    def _local_dag(self) -> DagAddress:
+        return DagAddress.host(self.node.hid, self.nid)

@@ -1,0 +1,187 @@
+"""Analytic (flow-level) transfer model.
+
+The Fig. 6 parameter sweeps move 64 MB per run across many
+configurations and seeds; simulating every 1.5 KB segment would be
+needlessly slow.  This model computes transfer durations in closed
+form from the same ingredients the packet-level transport exhibits:
+
+- a slow-start ramp (window doubling per RTT from the initial cwnd),
+- a steady-state rate bounded by the bottleneck link, the Mathis
+  loss/RTT relation, and the user-level daemon's per-packet pacing cap,
+- per-transfer fixed costs (request handshake, verification).
+
+``FlowModel.bytes_in`` inverts the duration function so an in-progress
+transfer can be suspended at a disconnection with the right partial
+progress, then resumed (with a fresh slow-start and migration cost) —
+the mechanism behind Fig. 6(c).
+
+The agreement between this model and the packet-level transport is
+checked by an ablation bench (see DESIGN.md §4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.emulation import mathis_throughput
+from repro.transport.config import TransportConfig
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class PathCharacteristics:
+    """What a transport path looks like to one flow."""
+
+    #: Bottleneck rate available to this flow, bits/second (payload
+    #: goodput after MAC/framing efficiency).
+    bottleneck_bps: float
+    #: Base round-trip time, seconds.
+    rtt: float
+    #: Transport-visible (residual) loss probability.
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("bottleneck_bps", self.bottleneck_bps)
+        check_positive("rtt", self.rtt)
+        check_fraction("loss_rate", self.loss_rate)
+
+    def joined(self, other: "PathCharacteristics") -> "PathCharacteristics":
+        """Concatenate two path segments (client–edge + edge–server)."""
+        return PathCharacteristics(
+            bottleneck_bps=min(self.bottleneck_bps, other.bottleneck_bps),
+            rtt=self.rtt + other.rtt,
+            loss_rate=1 - (1 - self.loss_rate) * (1 - other.loss_rate),
+        )
+
+
+class FlowModel:
+    """Closed-form transfer timing for one transport configuration."""
+
+    def __init__(self, config: TransportConfig) -> None:
+        self.config = config
+
+    # -- rates -----------------------------------------------------------
+
+    def steady_rate(self, path: PathCharacteristics) -> float:
+        """Sustained payload rate (bits/s) on ``path``."""
+        config = self.config
+        efficiency = config.mss_bytes / config.segment_bytes
+        candidates = [path.bottleneck_bps * efficiency]
+        if path.loss_rate > 0:
+            candidates.append(
+                mathis_throughput(config.mss_bytes, path.rtt, path.loss_rate)
+            )
+        if config.per_packet_cost > 0:
+            candidates.append(config.mss_bytes * 8 / config.per_packet_cost)
+        return max(min(candidates), 1.0)
+
+    # -- durations ----------------------------------------------------------
+
+    def transfer_time(
+        self,
+        num_bytes: float,
+        path: PathCharacteristics,
+        include_request: bool = False,
+        include_verify: bool = False,
+    ) -> float:
+        """Seconds to move ``num_bytes`` of payload over ``path``."""
+        check_non_negative("num_bytes", num_bytes)
+        if num_bytes == 0:
+            return 0.0
+        duration = self._ramped_time(num_bytes, path)
+        if include_request:
+            duration += path.rtt  # request/first-response handshake
+        if include_verify and self.config.verify_rate != float("inf"):
+            duration += num_bytes / self.config.verify_rate
+        return duration
+
+    def bytes_in(self, duration: float, path: PathCharacteristics) -> float:
+        """Payload bytes delivered within ``duration`` (inverse of
+        :meth:`transfer_time` without fixed costs)."""
+        check_non_negative("duration", duration)
+        if duration == 0:
+            return 0.0
+        low, high = 0.0, max(
+            self.steady_rate(path) * duration / 8.0 * 2 + self.config.mss_bytes, 1.0
+        )
+        # _ramped_time is strictly increasing in bytes: bisect.
+        for _ in range(64):
+            mid = (low + high) / 2
+            if self._ramped_time(mid, path) <= duration:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    # -- internals ---------------------------------------------------------------
+
+    def _ramped_time(self, num_bytes: float, path: PathCharacteristics) -> float:
+        """Slow-start ramp followed by steady state."""
+        if num_bytes <= 0:
+            return 0.0
+        config = self.config
+        rate = self.steady_rate(path)
+        rtt = path.rtt
+        mss_bits = config.mss_bytes * 8
+
+        # Steady-state window (segments per RTT) and ramp geometry.
+        steady_window = max(rate * rtt / mss_bits, config.initial_cwnd)
+        cwnd = float(config.initial_cwnd)
+        sent_bits = 0.0
+        elapsed = 0.0
+        total_bits = num_bytes * 8
+
+        while cwnd < steady_window:
+            round_bits = cwnd * mss_bits
+            if sent_bits + round_bits >= total_bits:
+                # Finishes inside this slow-start round.  The round
+                # delivers its window over one RTT; interpolate.
+                fraction = (total_bits - sent_bits) / round_bits
+                return elapsed + rtt * fraction
+            sent_bits += round_bits
+            elapsed += rtt
+            cwnd = min(cwnd * 2, steady_window)
+
+        remaining = total_bits - sent_bits
+        return elapsed + remaining / rate
+
+    def __repr__(self) -> str:
+        return f"<FlowModel {self.config.name}>"
+
+
+def effective_wireless_goodput(
+    mac_rate_bps: float,
+    loss_rate: float,
+    max_retries: int = 4,
+    frame_overhead_s: float = 150e-6,
+    frame_bytes: int = 1514,
+) -> float:
+    """Payload-carrying capacity of an ARQ wireless link under loss.
+
+    Each frame occupies ``E[attempts]`` transmissions of airtime; the
+    expected attempts for per-attempt loss ``p`` truncated at
+    ``max_retries`` retries is ``(1 - p^(k+1)) / (1 - p)``.
+    """
+    check_positive("mac_rate_bps", mac_rate_bps)
+    check_fraction("loss_rate", loss_rate)
+    if loss_rate >= 1.0:
+        raise ConfigurationError("loss_rate must be < 1 for a usable link")
+    attempts = (1 - loss_rate ** (max_retries + 1)) / (1 - loss_rate)
+    frame_airtime = frame_bytes * 8 / mac_rate_bps + frame_overhead_s
+    per_frame = attempts * frame_airtime
+    return frame_bytes * 8 / per_frame
+
+
+def residual_loss(loss_rate: float, max_retries: int = 4) -> float:
+    """Probability a frame fails all ARQ attempts (i.i.d. approximation).
+
+    Real fading is bursty, so the bursty models in
+    :mod:`repro.net.loss` produce substantially higher residual loss
+    than this i.i.d. bound; flow-level scenarios therefore scale this
+    up by a burstiness factor (see
+    :mod:`repro.experiments.calibration`).
+    """
+    check_fraction("loss_rate", loss_rate)
+    return loss_rate ** (max_retries + 1)

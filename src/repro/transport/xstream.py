@@ -1,0 +1,53 @@
+"""Xstream: XIA byte-stream sessions.
+
+A byte stream is modeled as a single reliable bulk transfer negotiated
+with one request (the stream handshake) — protocol-wise identical to a
+chunk transfer of the whole object, minus per-chunk verification.  The
+same machinery with the ``KERNEL_TCP`` config is the "Linux TCP
+(iPerf)" baseline of the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Simulator
+from repro.transport.chunkfetch import ChunkFetcher, FetchOutcome
+from repro.transport.config import TransportConfig
+from repro.transport.reliable import TransportEndpoint
+from repro.xia.dag import DagAddress
+
+
+@dataclass
+class StreamResult:
+    """Application-level outcome of a byte-stream download."""
+
+    bytes_received: int
+    duration: float
+    throughput_bps: float
+
+
+class XstreamClient:
+    """Downloads one object as a single byte-stream session."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: TransportEndpoint,
+        config: TransportConfig,
+    ) -> None:
+        self.sim = sim
+        self.fetcher = ChunkFetcher(
+            sim, endpoint, config=config.with_(verify_rate=float("inf"))
+        )
+
+    def download(self, address: DagAddress):
+        """Process: stream the object at ``address``; returns StreamResult."""
+        started = self.sim.now
+        outcome: FetchOutcome = yield self.sim.process(self.fetcher.fetch(address))
+        duration = self.sim.now - started
+        return StreamResult(
+            bytes_received=outcome.bytes_received,
+            duration=duration,
+            throughput_bps=outcome.bytes_received * 8 / duration if duration else 0.0,
+        )

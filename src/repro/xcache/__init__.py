@@ -1,0 +1,36 @@
+"""XCache: XIA's network-layer chunk cache.
+
+XCache is the ICN element of XIA: a user-level daemon, present on end
+hosts and routers, that stores *chunks* (self-certifying data objects)
+and serves them whenever a packet with a CID destination arrives.
+Content providers publish files into their local XCache as chunk
+sequences; edge routers cache and serve chunks; the SoftStage VNF
+(:mod:`repro.xcache.vnf`) is embedded inside the edge XCache.
+"""
+
+from repro.xcache.chunk import Chunk
+from repro.xcache.eviction import (
+    EvictionPolicy,
+    FifoEviction,
+    LfuEviction,
+    LruEviction,
+    RandomEviction,
+    TtlEviction,
+    make_eviction_policy,
+)
+from repro.xcache.store import ContentStore
+from repro.xcache.publisher import ContentPublisher, PublishedContent
+
+__all__ = [
+    "Chunk",
+    "ContentPublisher",
+    "ContentStore",
+    "EvictionPolicy",
+    "FifoEviction",
+    "LfuEviction",
+    "LruEviction",
+    "PublishedContent",
+    "RandomEviction",
+    "TtlEviction",
+    "make_eviction_policy",
+]

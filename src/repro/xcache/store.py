@@ -1,0 +1,153 @@
+"""The content store backing an XCache instance."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CacheMiss, ChunkIntegrityError, ConfigurationError
+from repro.xcache.chunk import Chunk
+from repro.xcache.eviction import EvictionPolicy, LruEviction
+from repro.xia.ids import PrincipalType, XID
+
+
+class ContentStore:
+    """A capacity-bounded chunk store with pluggable eviction.
+
+    Staged chunks can be *pinned* so cache pressure never evicts a
+    chunk the Staging Manager has promised to a client before the
+    client fetches it (pins are released on fetch or explicitly).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float = float("inf"),
+        eviction: Optional[EvictionPolicy] = None,
+        clock=None,
+        verify_on_insert: bool = True,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.eviction = eviction or LruEviction()
+        self._clock = clock or (lambda: 0.0)
+        self.verify_on_insert = verify_on_insert
+        self._chunks: dict[XID, Chunk] = {}
+        self._pinned: set[XID] = set()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, cid: XID) -> bool:
+        return cid in self._chunks
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def has(self, cid: XID) -> bool:
+        self._drop_expired()
+        return cid in self._chunks
+
+    def get(self, cid: XID) -> Chunk:
+        """Serve a chunk (counts a hit/miss; raises on miss)."""
+        self._drop_expired()
+        chunk = self._chunks.get(cid)
+        if chunk is None:
+            self.misses += 1
+            raise CacheMiss(f"chunk {cid.short} not in store")
+        self.hits += 1
+        self.eviction.on_access(cid, self._clock())
+        return chunk
+
+    def peek(self, cid: XID) -> Optional[Chunk]:
+        """Look up without touching hit/miss or recency state."""
+        return self._chunks.get(cid)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- mutation ------------------------------------------------------------
+
+    def put(self, chunk: Chunk, pin: bool = False) -> bool:
+        """Insert a chunk, evicting as needed.  Returns False if the
+        chunk cannot fit (bigger than capacity or everything pinned)."""
+        if chunk.cid.principal_type is not PrincipalType.CID:
+            raise ConfigurationError("store keys must be CIDs")
+        if self.verify_on_insert and not chunk.verify():
+            raise ChunkIntegrityError(
+                f"chunk {chunk!r} failed integrity verification"
+            )
+        if chunk.cid in self._chunks:
+            if pin:
+                self._pinned.add(chunk.cid)
+            return True
+        if chunk.size_bytes > self.capacity_bytes:
+            self.rejected += 1
+            return False
+        if not self._make_room(chunk.size_bytes):
+            self.rejected += 1
+            return False
+        self._chunks[chunk.cid] = chunk
+        self.used_bytes += chunk.size_bytes
+        self.insertions += 1
+        if pin:
+            self._pinned.add(chunk.cid)
+        self.eviction.on_insert(chunk.cid, self._clock())
+        return True
+
+    def remove(self, cid: XID) -> None:
+        chunk = self._chunks.pop(cid, None)
+        if chunk is not None:
+            self.used_bytes -= chunk.size_bytes
+            self._pinned.discard(cid)
+            self.eviction.on_remove(cid)
+
+    def pin(self, cid: XID) -> None:
+        if cid not in self._chunks:
+            raise CacheMiss(f"cannot pin absent chunk {cid.short}")
+        self._pinned.add(cid)
+
+    def unpin(self, cid: XID) -> None:
+        self._pinned.discard(cid)
+
+    def is_pinned(self, cid: XID) -> bool:
+        return cid in self._pinned
+
+    # -- internals -------------------------------------------------------------
+
+    def _evictable(self) -> list[XID]:
+        return [cid for cid in self._chunks if cid not in self._pinned]
+
+    def _make_room(self, needed: int) -> bool:
+        self._drop_expired()
+        while self.used_bytes + needed > self.capacity_bytes:
+            candidates = self._evictable()
+            if not candidates:
+                return False
+            victim = self.eviction.choose_victim(candidates, self._clock())
+            if victim is None:
+                victim = candidates[0]
+            self.remove(victim)
+            self.evictions += 1
+        return True
+
+    def _drop_expired(self) -> None:
+        for cid in self.eviction.expired(self._clock()):
+            if cid not in self._pinned:
+                self.remove(cid)
+
+    def __repr__(self) -> str:
+        cap = (
+            "inf" if self.capacity_bytes == float("inf")
+            else f"{self.capacity_bytes / 1e6:.0f}MB"
+        )
+        return (
+            f"<ContentStore {len(self)} chunks, "
+            f"{self.used_bytes / 1e6:.1f}MB/{cap}, hit_ratio={self.hit_ratio:.2f}>"
+        )

@@ -1,0 +1,227 @@
+"""DAG addresses with fallback semantics.
+
+An XIA address is a directed acyclic graph whose sink is the *intent*
+(the principal the sender ultimately wants to reach) and whose other
+paths encode *fallbacks*: ways of reaching the intent when a router
+cannot act on it directly.  SoftStage only needs the restricted shape
+the paper writes as ``CID | NID : HID`` — "forward on the CID if you
+can, otherwise route to network NID, then host HID, which can serve the
+CID".  We represent that as an intent plus an ordered tuple of
+*routes*, each route being a sequence of waypoint XIDs that ends,
+implicitly, at the intent.  Route priority is positional: earlier
+routes are preferred (direct-to-intent first).
+
+The textual form uses ``|`` between alternatives and ``->`` between
+waypoints of one route, e.g.::
+
+    CID:ab... | NID:cd... -> HID:ef...
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.errors import AddressError
+from repro.xia.ids import PrincipalType, XID
+
+
+class DagNode:
+    """A node of the address DAG: an XID plus its outgoing priority.
+
+    Exposed mainly for introspection/pretty-printing; forwarding logic
+    works on :class:`DagAddress` directly.
+    """
+
+    __slots__ = ("xid", "route_index", "position")
+
+    def __init__(self, xid: XID, route_index: int, position: int) -> None:
+        self.xid = xid
+        self.route_index = route_index
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"<DagNode {self.xid!r} route={self.route_index} pos={self.position}>"
+
+
+class DagAddress:
+    """An XIA DAG address: an intent plus prioritized fallback routes."""
+
+    __slots__ = ("intent", "routes", "_hash")
+
+    def __init__(
+        self,
+        intent: XID,
+        routes: Sequence[Sequence[XID]] = ((),),
+    ) -> None:
+        if not isinstance(intent, XID):
+            raise AddressError(f"intent must be an XID, got {intent!r}")
+        normalized = tuple(tuple(route) for route in routes)
+        if not normalized:
+            normalized = ((),)
+        for route in normalized:
+            for waypoint in route:
+                if not isinstance(waypoint, XID):
+                    raise AddressError(f"waypoint must be an XID, got {waypoint!r}")
+                if waypoint == intent:
+                    raise AddressError("a route must not contain the intent itself")
+        object.__setattr__(self, "intent", intent)
+        object.__setattr__(self, "routes", normalized)
+        object.__setattr__(self, "_hash", hash((intent, normalized)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DagAddress is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def content(cls, cid: XID, nid: XID, hid: XID) -> "DagAddress":
+        """The paper's ``CID | NID : HID`` shape."""
+        cls._expect(cid, PrincipalType.CID)
+        cls._expect(nid, PrincipalType.NID)
+        cls._expect(hid, PrincipalType.HID)
+        return cls(cid, routes=((), (nid, hid)))
+
+    @classmethod
+    def host(cls, hid: XID, nid: Optional[XID] = None) -> "DagAddress":
+        """Host-based addressing, ``NID : HID`` (the IP equivalent)."""
+        cls._expect(hid, PrincipalType.HID)
+        if nid is None:
+            return cls(hid)
+        cls._expect(nid, PrincipalType.NID)
+        return cls(hid, routes=((nid,),))
+
+    @classmethod
+    def service(cls, sid: XID, nid: XID, hid: XID) -> "DagAddress":
+        """Service addressing with a host fallback, ``SID | NID : HID``."""
+        cls._expect(sid, PrincipalType.SID)
+        return cls(sid, routes=((), (nid, hid)))
+
+    @staticmethod
+    def _expect(xid: XID, principal_type: PrincipalType) -> None:
+        if xid.principal_type is not principal_type:
+            raise AddressError(
+                f"expected a {principal_type.value}, got {xid!r}"
+            )
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def fallback_nid(self) -> Optional[XID]:
+        """The NID of the last-resort route, if any."""
+        for route in reversed(self.routes):
+            for waypoint in route:
+                if waypoint.principal_type is PrincipalType.NID:
+                    return waypoint
+        return None
+
+    @property
+    def fallback_hid(self) -> Optional[XID]:
+        """The HID of the last-resort route, if any."""
+        for route in reversed(self.routes):
+            for waypoint in reversed(route):
+                if waypoint.principal_type is PrincipalType.HID:
+                    return waypoint
+        return None
+
+    def nodes(self) -> list[DagNode]:
+        """All DAG nodes (intent last), for introspection."""
+        result = [
+            DagNode(waypoint, route_index, position)
+            for route_index, route in enumerate(self.routes)
+            for position, waypoint in enumerate(route)
+        ]
+        result.append(DagNode(self.intent, -1, -1))
+        return result
+
+    def replace_fallback(self, nid: XID, hid: XID) -> "DagAddress":
+        """Return a new address whose fallback path is ``NID -> HID``.
+
+        This is exactly what the Staging VNF does when a chunk has been
+        staged: the CID intent is kept, but the fallback now points at
+        the edge network's XCache instead of the origin server
+        (Table I, "New DAG").
+        """
+        self._expect(nid, PrincipalType.NID)
+        self._expect(hid, PrincipalType.HID)
+        has_direct = any(len(route) == 0 for route in self.routes)
+        routes: list[tuple[XID, ...]] = [()] if has_direct else []
+        routes.append((nid, hid))
+        return DagAddress(self.intent, routes=tuple(routes))
+
+    # -- forwarding support ---------------------------------------------------
+
+    def next_candidates(self, visited: Set[XID] = frozenset()) -> list[XID]:
+        """XIDs a router should try, in priority order.
+
+        For each route (most preferred first) the candidate is the first
+        waypoint not yet *visited*; once all of a route's waypoints are
+        visited the candidate is the intent itself.  Duplicates are
+        dropped, keeping the highest priority occurrence.
+        """
+        candidates: list[XID] = []
+        seen: set[XID] = set()
+        for route in self.routes:
+            candidate = self.intent
+            for waypoint in route:
+                if waypoint not in visited:
+                    candidate = waypoint
+                    break
+            if candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
+        return candidates
+
+    # -- text codec -------------------------------------------------------------
+
+    def to_string(self) -> str:
+        parts = []
+        for route in self.routes:
+            if not route:
+                parts.append(repr(self.intent))
+            else:
+                steps = " -> ".join(repr(waypoint) for waypoint in route)
+                parts.append(f"{steps} -> {self.intent!r}")
+        return " | ".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "DagAddress":
+        """Inverse of :meth:`to_string`."""
+        alternatives = [part.strip() for part in text.split("|")]
+        if not alternatives or not alternatives[0]:
+            raise AddressError(f"empty DAG address: {text!r}")
+        intent: Optional[XID] = None
+        routes: list[tuple[XID, ...]] = []
+        for alternative in alternatives:
+            steps = [XID.parse(step.strip()) for step in alternative.split("->")]
+            if not steps:
+                raise AddressError(f"empty alternative in {text!r}")
+            this_intent = steps[-1]
+            if intent is None:
+                intent = this_intent
+            elif this_intent != intent:
+                raise AddressError(
+                    f"alternatives disagree on the intent in {text!r}"
+                )
+            routes.append(tuple(steps[:-1]))
+        assert intent is not None
+        return cls(intent, routes=tuple(routes))
+
+    # -- value semantics -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DagAddress)
+            and self.intent == other.intent
+            and self.routes == other.routes
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"<DagAddress {self.to_string()}>"
+
+
+def visited_union(visited: Iterable[XID], *extra: XID) -> frozenset:
+    """Convenience: extend a visited-set immutably."""
+    return frozenset(visited) | set(extra)

@@ -1,0 +1,106 @@
+"""XIA packets.
+
+A packet carries a destination DAG, a source DAG, a principal-specific
+type, and an opaque payload.  Because this is a simulation, payloads
+are Python objects and ``size_bytes`` declares how big the packet is on
+the wire (headers included).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+from repro.xia.dag import DagAddress
+from repro.xia.ids import XID
+
+#: XIA header size used for on-wire accounting.  The real header is
+#: variable-length (it serializes two DAGs); 64 bytes is the common case
+#: for the shapes SoftStage uses and close to the prototype's figure.
+XIA_HEADER_BYTES = 64
+
+_packet_ids = itertools.count(1)
+
+#: When True, packets record the name of every device they traverse in
+#: ``packet.trace`` — invaluable in tests, too slow for big sweeps.
+TRACE_PACKETS = False
+
+
+class PacketType(enum.Enum):
+    """Packet kinds used by the transports and the control plane."""
+
+    DATA = "data"
+    ACK = "ack"
+    SYN = "syn"
+    SYN_ACK = "syn-ack"
+    FIN = "fin"
+    CHUNK_REQUEST = "chunk-request"
+    CHUNK_RESPONSE = "chunk-response"
+    STAGE_REQUEST = "stage-request"
+    STAGE_RESPONSE = "stage-response"
+    MIGRATE = "migrate"
+    MIGRATE_ACK = "migrate-ack"
+    BEACON = "beacon"
+    CONTROL = "control"
+
+
+class Packet:
+    """A single XIA packet in flight."""
+
+    __slots__ = (
+        "packet_id",
+        "ptype",
+        "dst",
+        "src",
+        "payload",
+        "size_bytes",
+        "session_id",
+        "seq",
+        "visited",
+        "hop_count",
+        "created_at",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        dst: DagAddress,
+        src: DagAddress,
+        payload: Any = None,
+        size_bytes: int = XIA_HEADER_BYTES,
+        session_id: Optional[int] = None,
+        seq: int = 0,
+        created_at: float = 0.0,
+    ) -> None:
+        if size_bytes < XIA_HEADER_BYTES:
+            size_bytes = XIA_HEADER_BYTES
+        self.packet_id = next(_packet_ids)
+        self.ptype = ptype
+        self.dst = dst
+        self.src = src
+        self.payload = payload
+        self.size_bytes = int(size_bytes)
+        self.session_id = session_id
+        self.seq = seq
+        #: XIDs already satisfied along the DAG (updated by routers).
+        self.visited: frozenset[XID] = frozenset()
+        self.hop_count = 0
+        self.created_at = created_at
+        #: Node names traversed, for debugging and tests.
+        self.trace: list[str] = []
+
+    def mark_visited(self, xid: XID) -> None:
+        self.visited = self.visited | {xid}
+
+    def reply_template(self) -> tuple[DagAddress, DagAddress]:
+        """(dst, src) for a reply to this packet."""
+        return self.src, self.dst
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.packet_id} {self.ptype.value} "
+            f"{self.size_bytes}B seq={self.seq} sess={self.session_id} "
+            f"dst={self.dst.intent.short}>"
+        )

@@ -1,0 +1,227 @@
+"""The XIA forwarding engine and router device.
+
+Routers forward packets by walking the destination DAG: try the
+highest-priority candidate XID the packet has not yet satisfied; a CID
+can be served from the local XCache, an NID matches either this
+network (mark visited and continue) or a route toward another network,
+an HID is either this node, a locally-attached host, or unroutable
+here, and an SID is a locally-registered service (e.g. the Staging
+VNF).  Candidates that cannot be acted on fall through to the next —
+this is XIA's fallback semantics, and is what lets a CID request reach
+the origin server when no cache on the path holds the chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.net.nodes import _trace_enabled
+from repro.net.link import Port
+from repro.net.nodes import Host
+from repro.xia.ids import PrincipalType, XID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.processing import ProcessingModel
+    from repro.sim import Simulator
+    from repro.xcache.store import ContentStore
+    from repro.xia.packet import Packet
+
+
+class ForwardingEngine:
+    """Route tables for one router, keyed by principal type."""
+
+    def __init__(self) -> None:
+        self.nid_routes: dict[XID, Port] = {}
+        self.hid_routes: dict[XID, Port] = {}
+        self.default_port: Optional[Port] = None
+
+    def set_nid_route(self, nid: XID, port: Port) -> None:
+        self._expect(nid, PrincipalType.NID)
+        self.nid_routes[nid] = port
+
+    def set_hid_route(self, hid: XID, port: Port) -> None:
+        self._expect(hid, PrincipalType.HID)
+        self.hid_routes[hid] = port
+
+    def remove_hid_route(self, hid: XID) -> None:
+        self.hid_routes.pop(hid, None)
+
+    def port_for(self, xid: XID) -> Optional[Port]:
+        if xid.principal_type is PrincipalType.NID:
+            return self.nid_routes.get(xid, self.default_port)
+        if xid.principal_type is PrincipalType.HID:
+            return self.hid_routes.get(xid)
+        return None
+
+    @staticmethod
+    def _expect(xid: XID, principal_type: PrincipalType) -> None:
+        if xid.principal_type is not principal_type:
+            raise ConfigurationError(f"expected {principal_type.value}, got {xid!r}")
+
+
+class XIARouter(Host):
+    """An XIA router: forwarding engine + optional XCache + services.
+
+    Routers are also hosts (they have an HID and terminate transport
+    sessions) because XCache runs *on* them: a chunk served from the
+    router's cache is a transport session between the router and the
+    client.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        hid: XID,
+        nid: XID,
+        processing: Optional["ProcessingModel"] = None,
+        content_store: Optional["ContentStore"] = None,
+    ) -> None:
+        super().__init__(sim, name, hid, processing=processing)
+        if nid.principal_type is not PrincipalType.NID:
+            raise ConfigurationError(f"router NID expected, got {nid!r}")
+        self.nid = nid
+        self.engine = ForwardingEngine()
+        self.content_store = content_store
+        #: Handler for CID requests that hit the local store.
+        self.cid_request_handler: Optional[Callable[["Packet", Port], None]] = None
+        #: Locally registered services (SID -> handler), e.g. Staging VNF.
+        self.services: dict[XID, Callable[["Packet", Port], None]] = {}
+        self.forwarded_packets = 0
+        self.dropped_unroutable = 0
+
+    # -- service registry ---------------------------------------------------
+
+    def register_service(
+        self, sid: XID, handler: Callable[["Packet", Port], None]
+    ) -> None:
+        if sid.principal_type is not PrincipalType.SID:
+            raise ConfigurationError(f"expected a SID, got {sid!r}")
+        self.services[sid] = handler
+
+    # -- sending (locally originated packets) -----------------------------------
+
+    def send(self, packet: "Packet", port: Optional[Port] = None) -> None:
+        """Route a locally-originated packet out the right port.
+
+        Unlike plain hosts, a router picks the egress by consulting its
+        own forwarding engine (cache responses leave toward whichever
+        network the client is in).
+        """
+        if port is not None:
+            port.send(packet)
+            return
+        out = self._route(packet)
+        if out is None:
+            self.dropped_unroutable += 1
+            return
+        out.send(packet)
+
+    def _route(self, packet: "Packet") -> Optional[Port]:
+        if self.nid in packet.dst.next_candidates(packet.visited):
+            packet.mark_visited(self.nid)
+        for candidate in packet.dst.next_candidates(packet.visited):
+            principal = candidate.principal_type
+            if principal in (PrincipalType.HID, PrincipalType.NID):
+                if candidate == self.hid:
+                    continue
+                out = self.engine.port_for(candidate)
+                if out is not None:
+                    return out
+        return None
+
+    # -- forwarding ------------------------------------------------------------
+
+    def handle_packet(self, packet: "Packet", port: Port) -> None:
+        packet.hop_count += 1
+        if _trace_enabled():
+            packet.trace.append(self.name)
+        # Entering this router means entering its network.
+        if self.nid in packet.dst.next_candidates(packet.visited):
+            packet.mark_visited(self.nid)
+
+        for candidate in packet.dst.next_candidates(packet.visited):
+            principal = candidate.principal_type
+            if principal is PrincipalType.CID:
+                if self._try_serve_cid(candidate, packet, port):
+                    return
+            elif principal is PrincipalType.SID:
+                handler = self.services.get(candidate)
+                if handler is not None:
+                    handler(packet, port)
+                    return
+            elif principal is PrincipalType.HID:
+                if candidate == self.hid:
+                    packet.mark_visited(candidate)
+                    self._deliver_local(packet, port)
+                    return
+                out = self.engine.port_for(candidate)
+                if out is not None:
+                    self._forward(packet, out)
+                    return
+            elif principal is PrincipalType.NID:
+                # Our own NID was marked visited above; anything else
+                # routes toward that network (or the default).
+                out = self.engine.port_for(candidate)
+                if out is not None:
+                    self._forward(packet, out)
+                    return
+        self.dropped_unroutable += 1
+
+    def _try_serve_cid(self, cid: XID, packet: "Packet", port: Port) -> bool:
+        if self.content_store is None or self.cid_request_handler is None:
+            return False
+        from repro.xia.packet import PacketType
+
+        # Only *requests* are answered from the cache; transport data
+        # packets of an ongoing chunk transfer carry session ids and are
+        # routed to their endpoints by HID.
+        if packet.ptype is not PacketType.CHUNK_REQUEST:
+            return False
+        if not self.content_store.has(cid):
+            return False
+        packet.mark_visited(cid)
+        self.cid_request_handler(packet, port)
+        return True
+
+    def _deliver_local(self, packet: "Packet", port: Port) -> None:
+        """The packet is addressed to this router itself."""
+        if packet.session_id is not None:
+            handler = self._session_handlers.get(packet.session_id)
+            if handler is not None:
+                handler(packet, port)
+                return
+        handler = self._type_handlers.get(packet.ptype)
+        if handler is not None:
+            handler(packet, port)
+            return
+        self.dropped_unhandled += 1
+
+    def _forward(self, packet: "Packet", out: Port) -> None:
+        self.forwarded_packets += 1
+        out.send(packet)
+
+
+class AccessPoint(Host):
+    """A layer-2 bridge between a wireless port and a wired uplink.
+
+    The paper uses COTS APs that bridge the client onto the edge
+    network; XIA "runs natively on any layer-2 device".  The AP does no
+    XIA processing: packets from the wireless side go out the uplink
+    and vice versa.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, hid: XID) -> None:
+        super().__init__(sim, name, hid)
+        self.bridged_packets = 0
+
+    def handle_packet(self, packet: "Packet", port: Port) -> None:
+        if _trace_enabled():
+            packet.trace.append(self.name)
+        for other in self.ports:
+            if other is not port:
+                if other.is_up:
+                    self.bridged_packets += 1
+                    other.send(packet)
+                return

@@ -1,0 +1,136 @@
+"""Tests for the VoD player and web workload (§V extensions)."""
+
+import random
+
+import pytest
+
+from repro.apps.video import (
+    BufferBasedPlayer,
+    PlaybackStats,
+    VideoLadder,
+    publish_video,
+)
+from repro.apps.web import PageSpec, WebClient, generate_page, publish_page
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.xcache import ContentPublisher, ContentStore
+from repro.xia import HID, NID
+
+
+def make_publisher():
+    return ContentPublisher(ContentStore(), NID("origin"), HID("server"))
+
+
+# ---------------------------------------------------------------------------
+# Video ladder and publishing
+# ---------------------------------------------------------------------------
+
+
+def test_ladder_segment_bytes():
+    ladder = VideoLadder(bitrates=(1e6, 4e6), segment_seconds=2.0)
+    assert ladder.segment_bytes(0) == 250_000
+    assert ladder.segment_bytes(1) == 1_000_000
+    assert ladder.rungs == 2
+
+
+def test_publish_video_all_renditions():
+    publisher = make_publisher()
+    ladder = VideoLadder(bitrates=(1e6, 2e6), segment_seconds=2.0)
+    renditions = publish_video(publisher, "clip", 10.0, ladder)
+    assert set(renditions) == {0, 1}
+    assert len(renditions[0].chunks) == 5
+    assert renditions[1].chunks[0].size_bytes == ladder.segment_bytes(1)
+
+
+# ---------------------------------------------------------------------------
+# Buffer-based adaptation logic
+# ---------------------------------------------------------------------------
+
+
+def make_player(fetch_delay=0.1, ladder=None):
+    sim = Simulator()
+    publisher = make_publisher()
+    ladder = ladder or VideoLadder(bitrates=(1e6, 2e6, 4e6), segment_seconds=2.0)
+    renditions = publish_video(publisher, "clip", 30.0, ladder)
+
+    def fetch(cid):
+        yield sim.timeout(fetch_delay)
+        return cid
+
+    player = BufferBasedPlayer(
+        sim, renditions, fetch, ladder=ladder,
+        reservoir_seconds=4.0, cushion_seconds=12.0,
+    )
+    return sim, player
+
+
+def test_choose_rung_reservoir_and_cushion():
+    _, player = make_player()
+    assert player.choose_rung(0.0) == 0
+    assert player.choose_rung(3.9) == 0
+    assert player.choose_rung(12.0) == player.ladder.rungs - 1
+    assert player.choose_rung(8.0) == 1  # middle of the cushion
+
+
+def test_fast_network_reaches_top_rung_without_rebuffering():
+    sim, player = make_player(fetch_delay=0.05)
+    stats = sim.run(until=sim.process(player.play()))
+    assert isinstance(stats, PlaybackStats)
+    assert stats.segments_played == 15
+    assert stats.rebuffer_events == 0
+    assert max(stats.rung_history) == player.ladder.rungs - 1
+
+
+def test_slow_network_stays_low_and_rebuffers():
+    sim, player = make_player(fetch_delay=2.5)  # slower than realtime
+    stats = sim.run(until=sim.process(player.play()))
+    assert stats.rebuffer_events > 0
+    assert stats.mean_rung < 1.0
+
+
+def test_player_requires_renditions_and_sane_thresholds():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        BufferBasedPlayer(sim, {}, lambda cid: None)
+    publisher = make_publisher()
+    renditions = publish_video(publisher, "x", 4.0)
+    with pytest.raises(ConfigurationError):
+        BufferBasedPlayer(
+            sim, renditions, lambda cid: None,
+            reservoir_seconds=10.0, cushion_seconds=5.0,
+        )
+
+
+def test_max_segments_truncates():
+    sim, player = make_player(fetch_delay=0.05)
+    stats = sim.run(until=sim.process(player.play(max_segments=4)))
+    assert stats.segments_played == 4
+
+
+# ---------------------------------------------------------------------------
+# Web workload
+# ---------------------------------------------------------------------------
+
+
+def test_generate_page_sizes():
+    spec = PageSpec(name="p", subresources=10)
+    sizes = generate_page(spec, random.Random(1))
+    assert len(sizes) == 11
+    assert sizes[0] == spec.root_bytes
+    assert all(1_000 <= s <= spec.max_object_bytes for s in sizes[1:])
+
+
+def test_publish_and_load_page():
+    sim = Simulator()
+    publisher = make_publisher()
+    content = publish_page(publisher, PageSpec(name="page"), random.Random(2))
+
+    def fetch(cid):
+        yield sim.timeout(0.02)
+
+    client = WebClient(sim, fetch)
+    result = sim.run(until=sim.process(client.load_page(content)))
+    assert result.objects == len(content.chunks)
+    assert result.load_time == pytest.approx(0.02 * result.objects)
+    assert result.first_paint == pytest.approx(0.02)
+    assert client.loads == [result]

@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_rejects_unknown_panel():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--panel", "z"])
+
+
+def test_cli_demo_runs_small(capsys):
+    assert main(["demo", "--file-mb", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Xftp" in out and "SoftStage" in out and "gain" in out
+
+
+def test_cli_fig5_prints_table(capsys):
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "xchunkp" in out and "paper (Mbps)" in out

@@ -1,0 +1,87 @@
+"""Tests for the experiment harness: params, report rendering, runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.params import (
+    CHUNK_SIZE_LADDER,
+    MicrobenchParams,
+    PARAMETER_TABLE,
+)
+from repro.experiments.report import GainSeries, render_table
+from repro.experiments.runner import gain, run_download
+from repro.experiments.xia_benchmark import PAPER_FIG5, run_protocol
+from repro.util import MB, mbps, ms
+
+
+def test_default_params_match_table3():
+    params = MicrobenchParams()
+    assert params.chunk_size == 2 * MB
+    assert params.encounter_time == 12.0
+    assert params.disconnection_time == 8.0
+    assert params.packet_loss == 0.27
+    assert params.internet_bandwidth == mbps(60)
+    assert params.internet_latency == ms(20)
+    assert params.file_size == 64 * MB
+
+
+def test_params_with_is_immutable_copy():
+    base = MicrobenchParams()
+    varied = base.with_(packet_loss=0.37)
+    assert varied.packet_loss == 0.37
+    assert base.packet_loss == 0.27
+
+
+def test_parameter_table_rows():
+    names = [row.name for row in PARAMETER_TABLE]
+    assert names == [
+        "Chunk Size", "Encounter Time", "Disconnection Time",
+        "Packet Loss Rate", "Internet Bandwidth", "Internet Latency",
+    ]
+    assert CHUNK_SIZE_LADDER["360p"] == 250_000
+
+
+def test_gain_series_render_contains_rows():
+    series = GainSeries(title="demo", parameter="x")
+    series.add("1", 10.0, 5.0, paper_gain=1.8)
+    series.add("2", 20.0, 5.0)
+    text = series.render()
+    assert "demo" in text
+    assert "2.00x" in text
+    assert "1.80x" in text
+    assert series.rows[1].gain == 4.0
+
+
+def test_render_table_validates_row_width():
+    with pytest.raises(ValueError):
+        render_table("t", ("a", "b"), [(1,)])
+    text = render_table("t", ("a", "b"), [(1, 2.5)])
+    assert "2.50" in text
+
+
+def test_gain_helper():
+    assert gain(10.0, 5.0) == 2.0
+    with pytest.raises(ConfigurationError):
+        gain(10.0, 0.0)
+
+
+def test_run_download_rejects_unknown_system():
+    with pytest.raises(ConfigurationError):
+        run_download("warpdrive")
+
+
+def test_run_download_smoke_both_systems():
+    params = MicrobenchParams(file_size=2 * MB, chunk_size=1 * MB,
+                              packet_loss=0.05)
+    xftp = run_download("xftp", params=params, seed=0)
+    assert xftp.download.completed
+    softstage = run_download("softstage", params=params, seed=0)
+    assert softstage.download.completed
+    assert softstage.system == "softstage"
+
+
+def test_fig5_single_point_close_to_paper():
+    point = run_protocol("wired", "linux-tcp")
+    assert point.paper_mbps == PAPER_FIG5[("wired", "linux-tcp")]
+    measured = point.throughput_bps / 1e6
+    assert measured == pytest.approx(95.0, rel=0.15)

@@ -1,0 +1,90 @@
+"""Tests for coverage timelines and builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import Coverage, CoverageWindow, alternating_coverage, overlapping_coverage
+
+
+def test_window_rss_interpolation():
+    window = CoverageWindow("ap", 0.0, 10.0, rss_start=-80.0, rss_end=-60.0)
+    assert window.rss_at(0.0) == -80.0
+    assert window.rss_at(5.0) == pytest.approx(-70.0)
+    assert window.duration == 10.0
+
+
+def test_window_rejects_empty_interval():
+    with pytest.raises(ConfigurationError):
+        CoverageWindow("ap", 5.0, 5.0)
+
+
+def test_window_rss_outside_raises():
+    window = CoverageWindow("ap", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        window.rss_at(2.0)
+
+
+def test_visible_at_boundaries_half_open():
+    coverage = Coverage([CoverageWindow("ap", 1.0, 2.0)])
+    assert coverage.visible_at(0.5) == {}
+    assert "ap" in coverage.visible_at(1.0)
+    assert coverage.visible_at(2.0) == {}
+
+
+def test_change_times_sorted_unique():
+    coverage = Coverage(
+        [CoverageWindow("a", 0.0, 5.0), CoverageWindow("b", 5.0, 8.0)]
+    )
+    assert coverage.change_times() == [0.0, 5.0, 8.0]
+
+
+def test_alternating_coverage_pattern():
+    coverage = alternating_coverage(
+        ["A", "B"], encounter_time=12.0, disconnection_time=8.0, total_time=60.0
+    )
+    # Windows: A[0,12), B[20,32), A[40,52)
+    assert [w.ap for w in coverage.windows] == ["A", "B", "A"]
+    assert coverage.visible_at(5.0) == {"A": pytest.approx(-55.0)}
+    assert coverage.visible_at(15.0) == {}
+    assert coverage.visible_at(25.0).keys() == {"B"}
+
+
+def test_alternating_connected_fraction():
+    coverage = alternating_coverage(
+        ["A", "B"], encounter_time=12.0, disconnection_time=8.0, total_time=200.0
+    )
+    assert coverage.connected_fraction(until=200.0) == pytest.approx(0.6, abs=0.05)
+
+
+def test_alternating_zero_disconnection_continuous():
+    coverage = alternating_coverage(
+        ["A", "B"], encounter_time=10.0, disconnection_time=0.0, total_time=50.0
+    )
+    assert coverage.connected_fraction(until=50.0) == pytest.approx(1.0)
+
+
+def test_overlapping_coverage_has_overlap():
+    coverage = overlapping_coverage(
+        ["A", "B"], encounter_time=12.0, overlap_time=3.0, total_time=40.0
+    )
+    # During the overlap, both APs are audible.
+    overlap_instant = 11.0  # A's window is [0, 12), B starts at 9.
+    visible = coverage.visible_at(overlap_instant)
+    assert set(visible) == {"A", "B"}
+    # A is fading out while B ramps up.
+    assert visible["B"] > visible["A"]
+
+
+def test_overlapping_coverage_validates():
+    with pytest.raises(ConfigurationError):
+        overlapping_coverage(["A", "B"], encounter_time=3.0, overlap_time=3.0, total_time=10)
+    with pytest.raises(ConfigurationError):
+        overlapping_coverage(["A"], encounter_time=12.0, overlap_time=3.0, total_time=10)
+
+
+def test_windows_for_filters_by_ap():
+    coverage = alternating_coverage(
+        ["A", "B"], encounter_time=5.0, disconnection_time=5.0, total_time=40.0
+    )
+    assert all(w.ap == "A" for w in coverage.windows_for("A"))
+    assert len(coverage.windows_for("A")) == 2

@@ -1,0 +1,86 @@
+"""Tests for the path-loss model and the 1-D road coverage generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.road import RoadModel, RoadsideAp
+from repro.mobility.rss import PathLossModel
+
+
+def test_rss_decreases_with_distance():
+    model = PathLossModel()
+    assert model.rss_dbm(10.0) > model.rss_dbm(100.0)
+
+
+def test_rss_at_reference_distance():
+    model = PathLossModel(tx_power_dbm=20.0, pl_d0=40.0, d0=1.0)
+    assert model.rss_dbm(1.0) == pytest.approx(-20.0)
+
+
+def test_rss_clamps_below_reference():
+    model = PathLossModel(d0=1.0)
+    assert model.rss_dbm(0.5) == model.rss_dbm(1.0)
+
+
+def test_shadowing_adds_variance():
+    model = PathLossModel(shadowing_sigma=6.0)
+    rng = random.Random(1)
+    samples = {model.rss_dbm(50.0, rng) for _ in range(10)}
+    assert len(samples) > 1
+    # Without an rng, shadowing is skipped (deterministic mean).
+    assert model.rss_dbm(50.0) == PathLossModel().rss_dbm(50.0)
+
+
+def test_range_for_rss_inverts_rss():
+    model = PathLossModel()
+    threshold = -80.0
+    distance = model.range_for_rss(threshold)
+    assert model.rss_dbm(distance) == pytest.approx(threshold, abs=0.1)
+
+
+def test_road_coverage_windows_follow_geometry():
+    model = RoadModel(
+        aps=[RoadsideAp("ap-0", position=100.0), RoadsideAp("ap-1", position=400.0)],
+        speed_mps=10.0,
+        sensitivity_dbm=-80.0,
+    )
+    coverage = model.coverage(duration=60.0)
+    names = {w.ap for w in coverage.windows}
+    assert names == {"ap-0", "ap-1"}
+    # ap-0 audible around t=10 (x=100), not at t=25 (x=250 if far).
+    assert "ap-0" in coverage.visible_at(10.0)
+    assert "ap-1" in coverage.visible_at(40.0)
+
+
+def test_road_rss_peaks_at_closest_approach():
+    model = RoadModel(
+        aps=[RoadsideAp("ap", position=200.0)], speed_mps=10.0,
+        sensitivity_dbm=-85.0, window_resolution=0.5,
+    )
+    coverage = model.coverage(duration=60.0)
+    at_pass = coverage.visible_at(20.0)["ap"]      # directly abeam
+    early = coverage.visible_at(16.0).get("ap")
+    assert early is None or at_pass > early
+
+
+def test_road_encounter_time_scales_inversely_with_speed():
+    ap = RoadsideAp("ap", position=500.0)
+    slow = RoadModel([ap], speed_mps=5.0).encounter_time(ap)
+    fast = RoadModel([ap], speed_mps=20.0).encounter_time(ap)
+    assert slow == pytest.approx(4 * fast)
+
+
+def test_road_out_of_range_ap_yields_nothing():
+    model = RoadModel(
+        aps=[RoadsideAp("far", position=100.0, offset=10_000.0)],
+        speed_mps=10.0,
+    )
+    assert len(model.coverage(duration=60.0)) == 0
+    assert model.encounter_time(model.aps[0]) == 0.0
+
+
+def test_road_validation():
+    with pytest.raises(ConfigurationError):
+        RoadModel(aps=[], speed_mps=10.0)

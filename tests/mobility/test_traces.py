@@ -1,0 +1,118 @@
+"""Tests for connectivity traces, Cabernet and wardriving generators."""
+
+import random
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.mobility import (
+    CabernetDistributions,
+    CabernetTraceGenerator,
+    ConnectivityTrace,
+    WardrivingSynthesizer,
+)
+from repro.mobility.cabernet import lognormal_params
+
+
+def test_trace_stats():
+    trace = ConnectivityTrace([(0.0, 10.0), (20.0, 25.0)], duration=50.0)
+    assert trace.connected_time == 15.0
+    assert trace.coverage_fraction == pytest.approx(0.3)
+    assert trace.encounter_durations() == [10.0, 5.0]
+    assert trace.gap_durations() == [10.0, 25.0]
+    assert trace.connected_at(5.0)
+    assert not trace.connected_at(15.0)
+
+
+def test_trace_rejects_overlap_and_bad_intervals():
+    with pytest.raises(TraceFormatError):
+        ConnectivityTrace([(0.0, 10.0), (5.0, 15.0)], duration=20.0)
+    with pytest.raises(TraceFormatError):
+        ConnectivityTrace([(5.0, 5.0)], duration=20.0)
+    with pytest.raises(TraceFormatError):
+        ConnectivityTrace([(0.0, 30.0)], duration=20.0)
+
+
+def test_trace_save_load_roundtrip(tmp_path):
+    trace = ConnectivityTrace([(1.5, 9.25), (12.0, 30.0)], duration=60.0)
+    path = tmp_path / "trace.txt"
+    trace.save(path)
+    loaded = ConnectivityTrace.load(path)
+    assert loaded.intervals == trace.intervals
+    assert loaded.duration == trace.duration
+
+
+def test_trace_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("not a trace\n")
+    with pytest.raises(TraceFormatError):
+        ConnectivityTrace.load(path)
+
+
+def test_trace_to_coverage_round_robins_aps():
+    trace = ConnectivityTrace([(0.0, 5.0), (10.0, 15.0), (20.0, 25.0)], duration=30.0)
+    coverage = trace.to_coverage(["A", "B"])
+    assert [w.ap for w in coverage.windows] == ["A", "B", "A"]
+
+
+def test_lognormal_params_match_moments():
+    mu, sigma = lognormal_params(median=4.0, mean=10.0)
+    import math
+
+    assert math.exp(mu) == pytest.approx(4.0)
+    assert math.exp(mu + sigma**2 / 2) == pytest.approx(10.0)
+
+
+def test_lognormal_params_validation():
+    with pytest.raises(ValueError):
+        lognormal_params(median=10.0, mean=4.0)
+
+
+def test_cabernet_generator_statistics():
+    generator = CabernetTraceGenerator(random.Random(42))
+    encounters = [generator.sample_encounter() for _ in range(4000)]
+    # Median should be near the Cabernet median of 4 s (clamping shifts
+    # the small tail slightly upward).
+    encounters.sort()
+    median = encounters[len(encounters) // 2]
+    assert 2.5 <= median <= 6.5
+    gaps = [generator.sample_gap() for _ in range(4000)]
+    gaps.sort()
+    assert 20.0 <= gaps[len(gaps) // 2] <= 48.0
+
+
+def test_cabernet_generate_trace_valid():
+    generator = CabernetTraceGenerator(random.Random(7))
+    trace = generator.generate(duration=3600.0)
+    assert trace.duration == 3600.0
+    assert 0.0 < trace.coverage_fraction < 1.0
+    assert len(trace.intervals) > 5
+
+
+def test_cabernet_distributions_table3_values():
+    dist = CabernetDistributions()
+    assert dist.ENCOUNTER_PERCENTILES == (3.0, 4.0, 12.0)
+    assert dist.DISCONNECTION_PERCENTILES == (8.0, 32.0, 100.0)
+    assert dist.LOSS_PERCENTILES == (0.22, 0.27, 0.37)
+
+
+def test_wardriving_trace_one_high_coverage():
+    synthesizer = WardrivingSynthesizer(random.Random(3))
+    trace = synthesizer.trace_one(duration=600.0)
+    assert trace.coverage_fraction > 0.75
+
+
+def test_wardriving_trace_two_choppier_than_one():
+    synthesizer = WardrivingSynthesizer(random.Random(3))
+    one = synthesizer.trace_one(duration=600.0)
+    two = synthesizer.trace_two(duration=600.0)
+    assert two.coverage_fraction > 0.5
+    mean_encounter_one = sum(one.encounter_durations()) / len(one.encounter_durations())
+    mean_encounter_two = sum(two.encounter_durations()) / len(two.encounter_durations())
+    assert mean_encounter_two < mean_encounter_one
+
+
+def test_wardriving_deterministic_per_seed():
+    a = WardrivingSynthesizer(random.Random(9)).trace_one(300.0)
+    b = WardrivingSynthesizer(random.Random(9)).trace_one(300.0)
+    assert a.intervals == b.intervals

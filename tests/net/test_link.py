@@ -1,0 +1,192 @@
+"""Tests for links, queues, wireless ARQ and the processing model."""
+
+import pytest
+
+from repro.net import Host, Link, Network, ProcessingModel, WirelessLink
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
+from repro.sim import RandomStreams, Simulator
+from repro.util import mbps, ms
+from repro.xia import DagAddress, HID
+from repro.xia.packet import Packet, PacketType
+
+
+class Sink(Host):
+    """A host that records everything it receives."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name, HID(name))
+        self.received = []
+        self.register_handler(PacketType.DATA, self._on_data)
+
+    def _on_data(self, packet, port):
+        self.received.append((self.sim.now, packet))
+
+
+def make_pair(link):
+    sim = link.sim
+    net = Network(sim)
+    a = net.add_device(Sink(sim, "a"))
+    b = net.add_device(Sink(sim, "b"))
+    net.connect(a, b, link)
+    return sim, a, b
+
+
+def packet_to(b, size=1000, seq=0):
+    return Packet(
+        PacketType.DATA,
+        dst=DagAddress.host(b.hid),
+        src=DagAddress.host(HID("a")),
+        size_bytes=size,
+        seq=seq,
+        payload={},
+    )
+
+
+def test_serialization_plus_propagation_delay():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(8), delay=ms(5))
+    sim2, a, b = make_pair(link)
+    a.send(packet_to(b, size=1000))  # 1000B at 8 Mbps = 1 ms airtime
+    sim.run()
+    arrival = b.received[0][0]
+    assert arrival == pytest.approx(0.001 + 0.005)
+
+
+def test_fifo_and_back_to_back_serialization():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(8), delay=0.0)
+    _, a, b = make_pair(link)
+    for seq in range(3):
+        a.send(packet_to(b, size=1000, seq=seq))
+    sim.run()
+    times = [t for t, _ in b.received]
+    seqs = [p.seq for _, p in b.received]
+    assert seqs == [0, 1, 2]
+    assert times == pytest.approx([0.001, 0.002, 0.003])
+
+
+def test_queue_overflow_drops():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(1), delay=0.0, queue_bytes=2500)
+    _, a, b = make_pair(link)
+    for seq in range(10):
+        a.send(packet_to(b, size=1000, seq=seq))
+    sim.run()
+    assert link.forward.stats.dropped_queue > 0
+    assert len(b.received) < 10
+
+
+def test_link_down_drops_everything():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(10), delay=ms(1))
+    _, a, b = make_pair(link)
+    link.set_up(False)
+    a.send(packet_to(b))
+    sim.run()
+    assert b.received == []
+    assert link.forward.stats.dropped_down >= 1
+
+
+def test_link_down_mid_flight_drops():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(10), delay=ms(50))
+    _, a, b = make_pair(link)
+    a.send(packet_to(b))
+
+    def cut(sim):
+        yield sim.timeout(0.01)  # after serialization, before arrival
+        link.set_up(False)
+
+    sim.process(cut(sim))
+    sim.run()
+    assert b.received == []
+
+
+def test_bernoulli_loss_drops_fraction():
+    sim = Simulator()
+    rng = RandomStreams(3).stream("loss")
+    link = Link(sim, "l", bandwidth_bps=mbps(100), delay=0.0,
+                loss_a_to_b=BernoulliLoss(0.5, rng))
+    _, a, b = make_pair(link)
+    for seq in range(400):
+        a.send(packet_to(b, seq=seq))
+    sim.run()
+    assert 100 < len(b.received) < 300
+
+
+def test_wireless_arq_hides_moderate_loss():
+    sim = Simulator()
+    rng = RandomStreams(3).stream("loss")
+    link = WirelessLink(
+        sim, "w", mac_rate_bps=mbps(65),
+        loss_up=BernoulliLoss(0.3, rng), max_retries=6,
+    )
+    _, a, b = make_pair(link)
+
+    def paced_sender(sim):
+        for seq in range(300):
+            a.send(packet_to(b, seq=seq))
+            yield sim.timeout(1e-3)  # keep the queue from overflowing
+
+    sim.process(paced_sender(sim))
+    sim.run()
+    # i.i.d. 30% loss with 6 retries: residual ~ 0.3^7 ~ 0.02%.
+    assert len(b.received) >= 299
+    assert link.forward.retransmissions > 50
+
+
+def test_wireless_retries_cost_airtime():
+    def run_with_loss(loss_rate):
+        sim = Simulator()
+        rng = RandomStreams(7).stream("loss")
+        loss = BernoulliLoss(loss_rate, rng) if loss_rate else None
+        link = WirelessLink(sim, "w", mac_rate_bps=mbps(65), loss_up=loss)
+        _, a, b = make_pair(link)
+        for seq in range(200):
+            a.send(packet_to(b, size=1500, seq=seq))
+        sim.run()
+        return b.received[-1][0]
+
+    assert run_with_loss(0.3) > 1.3 * run_with_loss(0.0)
+
+
+def test_wireless_half_duplex_shares_airtime():
+    sim = Simulator()
+    link = WirelessLink(sim, "w", mac_rate_bps=mbps(65), delay=0.0)
+    _, a, b = make_pair(link)
+    for seq in range(100):
+        a.send(packet_to(b, size=1500, seq=seq))
+        b.send(packet_to(a, size=1500, seq=seq))
+    sim.run()
+    # Both directions moved 100 packets over ONE medium: the finish
+    # time is ~double a single direction's.
+    one_way_airtime = 100 * (1500 * 8 / mbps(65) + 150e-6)
+    finish = max(b.received[-1][0], a.received[-1][0])
+    assert finish > 1.8 * one_way_airtime
+
+
+def test_gilbert_elliott_on_wireless_leaks_bursty_residual():
+    sim = Simulator()
+    rng = RandomStreams(11).stream("loss")
+    loss = GilbertElliottLoss(0.27, rng, good_loss=0.02, bad_loss=0.95,
+                              mean_bad_duration=0.25)
+    link = WirelessLink(sim, "w", mac_rate_bps=mbps(65),
+                        loss_up=loss, max_retries=4)
+    _, a, b = make_pair(link)
+    for seq in range(2000):
+        a.send(packet_to(b, size=1500, seq=seq))
+    sim.run()
+    # Deep fades defeat ARQ: visible residual loss, unlike i.i.d.
+    assert link.forward.residual_drops > 10
+
+
+def test_processing_model_queues_work():
+    sim = Simulator()
+    model = ProcessingModel(sim, per_packet_seconds=1e-3)
+    assert model.admit() == pytest.approx(1e-3)
+    assert model.admit() == pytest.approx(2e-3)  # queued behind the first
+    sim2 = Simulator()
+    free = ProcessingModel(sim2, per_packet_seconds=0.0)
+    assert free.admit() == 0.0
+    assert free.max_packet_rate == float("inf")
+    assert model.max_packet_rate == pytest.approx(1000.0)

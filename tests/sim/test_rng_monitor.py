@@ -1,0 +1,157 @@
+"""Tests for RandomStreams, Monitor and TimeSeries."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Monitor, RandomStreams, TimeSeries
+
+
+# ---------------------------------------------------------------------------
+# RandomStreams
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_same_name_same_sequence():
+    a = RandomStreams(7).stream("loss")
+    b = RandomStreams(7).stream("loss")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_give_independent_sequences():
+    streams = RandomStreams(7)
+    a = [streams.stream("loss").random() for _ in range(5)]
+    b = [streams.stream("mobility").random() for _ in range(5)]
+    assert a != b
+
+
+def test_creation_order_does_not_matter():
+    first = RandomStreams(3)
+    first.stream("x")
+    value_y_after_x = first.stream("y").random()
+    second = RandomStreams(3)
+    value_y_alone = second.stream("y").random()
+    assert value_y_after_x == value_y_alone
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("s").random()
+    b = RandomStreams(2).stream("s").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_spawn_children_are_independent():
+    parent = RandomStreams(5)
+    child_a = parent.spawn("a")
+    child_b = parent.spawn("b")
+    assert child_a.root_seed != child_b.root_seed
+    assert child_a.stream("s").random() != child_b.stream("s").random()
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+def test_spawn_deterministic(seed, name):
+    assert RandomStreams(seed).spawn(name).root_seed == RandomStreams(seed).spawn(name).root_seed
+
+
+# ---------------------------------------------------------------------------
+# Monitor
+# ---------------------------------------------------------------------------
+
+
+def test_monitor_mean_min_max():
+    monitor = Monitor("m")
+    monitor.observe_many([1.0, 2.0, 3.0, 4.0])
+    assert monitor.count == 4
+    assert monitor.mean == pytest.approx(2.5)
+    assert monitor.minimum == 1.0
+    assert monitor.maximum == 4.0
+
+
+def test_monitor_variance_matches_sample_variance():
+    monitor = Monitor()
+    data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    monitor.observe_many(data)
+    mean = sum(data) / len(data)
+    expected = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+    assert monitor.variance == pytest.approx(expected)
+    assert monitor.stddev == pytest.approx(math.sqrt(expected))
+
+
+def test_monitor_empty_raises():
+    with pytest.raises(ValueError):
+        _ = Monitor().mean
+
+
+def test_monitor_single_observation_zero_variance():
+    monitor = Monitor()
+    monitor.observe(3.0)
+    assert monitor.variance == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+def test_monitor_mean_matches_batch_mean(values):
+    monitor = Monitor()
+    monitor.observe_many(values)
+    assert monitor.mean == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# TimeSeries
+# ---------------------------------------------------------------------------
+
+
+def test_timeseries_records_in_order():
+    series = TimeSeries("ts")
+    series.record(0.0, 1.0)
+    series.record(2.0, 3.0)
+    assert list(series) == [(0.0, 1.0), (2.0, 3.0)]
+    assert len(series) == 2
+    assert series.last() == 3.0
+
+
+def test_timeseries_rejects_time_reversal():
+    series = TimeSeries()
+    series.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        series.record(4.0, 2.0)
+
+
+def test_timeseries_time_average_step_function():
+    series = TimeSeries()
+    series.record(0.0, 10.0)
+    series.record(5.0, 20.0)  # value 10 for 5s, then 20
+    assert series.time_average(until=10.0) == pytest.approx(15.0)
+
+
+def test_timeseries_time_average_single_sample():
+    series = TimeSeries()
+    series.record(1.0, 42.0)
+    assert series.time_average() == 42.0
+
+
+def test_timeseries_time_average_empty_raises():
+    with pytest.raises(ValueError):
+        TimeSeries().time_average()
+
+
+def test_timeseries_value_at():
+    series = TimeSeries()
+    series.record(0.0, 1.0)
+    series.record(10.0, 2.0)
+    series.record(20.0, 3.0)
+    assert series.value_at(0.0) == 1.0
+    assert series.value_at(9.99) == 1.0
+    assert series.value_at(10.0) == 2.0
+    assert series.value_at(100.0) == 3.0
+    with pytest.raises(ValueError):
+        series.value_at(-1.0)
+
+
+def test_timeseries_last_empty():
+    assert TimeSeries().last() is None

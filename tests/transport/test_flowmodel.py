@@ -1,0 +1,107 @@
+"""Tests for the analytic flow model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.transport import FlowModel, PathCharacteristics, XIA_STREAM, KERNEL_TCP
+from repro.transport.flowmodel import effective_wireless_goodput, residual_loss
+from repro.util import MB, mbps, ms
+
+
+MODEL = FlowModel(XIA_STREAM)
+CLEAN = PathCharacteristics(bottleneck_bps=mbps(100), rtt=ms(2))
+
+
+def test_steady_rate_bounded_by_bottleneck_efficiency():
+    rate = MODEL.steady_rate(CLEAN)
+    efficiency = XIA_STREAM.mss_bytes / XIA_STREAM.segment_bytes
+    assert rate <= mbps(100) * efficiency + 1
+    # The daemon pacing cap binds below 100 Mbps for Xstream.
+    assert rate == pytest.approx(XIA_STREAM.mss_bytes * 8 / XIA_STREAM.per_packet_cost)
+
+
+def test_steady_rate_loss_limited_on_long_paths():
+    lossy = PathCharacteristics(bottleneck_bps=mbps(1000), rtt=ms(50), loss_rate=0.01)
+    clean = PathCharacteristics(bottleneck_bps=mbps(1000), rtt=ms(50))
+    assert MODEL.steady_rate(lossy) < MODEL.steady_rate(clean)
+
+
+def test_transfer_time_zero_bytes():
+    assert MODEL.transfer_time(0, CLEAN) == 0.0
+
+
+def test_transfer_time_increases_with_bytes():
+    small = MODEL.transfer_time(1 * MB, CLEAN)
+    large = MODEL.transfer_time(10 * MB, CLEAN)
+    assert large > small
+    # Large transfers approach the steady rate.
+    assert 10 * MB * 8 / large == pytest.approx(MODEL.steady_rate(CLEAN), rel=0.1)
+
+
+def test_small_transfer_dominated_by_slow_start():
+    tiny = MODEL.transfer_time(10_000, CLEAN)
+    # 10 kB in slow start from cwnd=2: a few RTTs, far from line rate.
+    assert tiny > ms(2)
+    assert 10_000 * 8 / tiny < 0.5 * MODEL.steady_rate(CLEAN)
+
+
+def test_request_and_verify_costs_added():
+    base = MODEL.transfer_time(1 * MB, CLEAN)
+    with_request = MODEL.transfer_time(1 * MB, CLEAN, include_request=True)
+    assert with_request == pytest.approx(base + CLEAN.rtt)
+    chunk_model = FlowModel(XIA_STREAM.with_(verify_rate=50e6))
+    with_verify = chunk_model.transfer_time(1 * MB, CLEAN, include_verify=True)
+    assert with_verify == pytest.approx(
+        chunk_model.transfer_time(1 * MB, CLEAN) + 1 * MB / 50e6
+    )
+
+
+def test_bytes_in_inverts_transfer_time():
+    for num_bytes in (50_000, 1 * MB, 8 * MB):
+        duration = MODEL.transfer_time(num_bytes, CLEAN)
+        recovered = MODEL.bytes_in(duration, CLEAN)
+        assert recovered == pytest.approx(num_bytes, rel=0.01)
+
+
+def test_bytes_in_zero_duration():
+    assert MODEL.bytes_in(0.0, CLEAN) == 0.0
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=1e4, max_value=5e7))
+def test_transfer_time_monotone_in_bytes(num_bytes):
+    t1 = MODEL.transfer_time(num_bytes, CLEAN)
+    t2 = MODEL.transfer_time(num_bytes * 1.5, CLEAN)
+    assert t2 > t1
+
+
+def test_path_join_composes():
+    wireless = PathCharacteristics(mbps(20), ms(3), loss_rate=0.004)
+    internet = PathCharacteristics(mbps(60), ms(20), loss_rate=0.001)
+    joined = wireless.joined(internet)
+    assert joined.bottleneck_bps == mbps(20)
+    assert joined.rtt == pytest.approx(ms(23))
+    assert joined.loss_rate == pytest.approx(1 - 0.996 * 0.999)
+
+
+def test_tcp_config_faster_than_xia_flow_model():
+    tcp = FlowModel(KERNEL_TCP)
+    assert tcp.steady_rate(CLEAN) > MODEL.steady_rate(CLEAN)
+
+
+def test_effective_wireless_goodput_decreases_with_loss():
+    clean = effective_wireless_goodput(mbps(65), 0.0)
+    lossy = effective_wireless_goodput(mbps(65), 0.3)
+    assert lossy < clean
+    assert lossy > 0.5 * clean  # ARQ costs airtime, not collapse
+
+
+def test_effective_wireless_goodput_validates():
+    with pytest.raises(ConfigurationError):
+        effective_wireless_goodput(mbps(65), 1.0)
+
+
+def test_residual_loss_iid_bound():
+    assert residual_loss(0.3, max_retries=6) == pytest.approx(0.3**7)
+    assert residual_loss(0.0) == 0.0

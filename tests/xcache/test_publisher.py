@@ -1,0 +1,88 @@
+"""Tests for content publishing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.xcache import ContentPublisher, ContentStore
+from repro.xia import HID, NID
+from repro.xia.ids import PrincipalType
+
+
+def make_publisher(capacity=float("inf")):
+    return ContentPublisher(
+        ContentStore(capacity_bytes=capacity), NID("origin"), HID("server")
+    )
+
+
+def test_publish_synthetic_chunking():
+    publisher = make_publisher()
+    content = publisher.publish_synthetic("file", 5_500_000, 2_000_000)
+    assert len(content) == 3
+    assert [c.size_bytes for c in content.chunks] == [
+        2_000_000, 2_000_000, 1_500_000,
+    ]
+    assert content.total_bytes == 5_500_000
+
+
+def test_published_chunks_land_pinned_in_store():
+    publisher = make_publisher()
+    content = publisher.publish_synthetic("file", 2_000_000, 1_000_000)
+    for chunk in content.chunks:
+        assert publisher.store.has(chunk.cid)
+        assert publisher.store.is_pinned(chunk.cid)
+
+
+def test_addresses_point_at_origin():
+    publisher = make_publisher()
+    content = publisher.publish_synthetic("file", 1_000_000, 1_000_000)
+    address = content.addresses[0]
+    assert address.intent.principal_type is PrincipalType.CID
+    assert address.fallback_nid == NID("origin")
+    assert address.fallback_hid == HID("server")
+
+
+def test_address_of_and_chunk_of():
+    publisher = make_publisher()
+    content = publisher.publish_synthetic("file", 3_000_000, 1_000_000)
+    cid = content.chunks[1].cid
+    assert content.address_of(cid).intent == cid
+    assert content.chunk_of(cid).index == 1
+    from repro.xcache import Chunk
+
+    with pytest.raises(KeyError):
+        content.address_of(Chunk.synthetic("other", 0, 10).cid)
+
+
+def test_publish_bytes_roundtrip():
+    publisher = make_publisher()
+    content = publisher.publish_bytes("blob", b"hello world" * 100, 256)
+    assert content.total_bytes == 1100
+    assert sum(c.size_bytes for c in content.chunks) == 1100
+    assert all(c.verify() for c in content.chunks)
+
+
+def test_duplicate_name_rejected():
+    publisher = make_publisher()
+    publisher.publish_synthetic("file", 1000, 1000)
+    with pytest.raises(ConfigurationError):
+        publisher.publish_synthetic("file", 1000, 1000)
+
+
+def test_manifest_lookup():
+    publisher = make_publisher()
+    content = publisher.publish_synthetic("file", 1000, 1000)
+    assert publisher.manifest("file") is content
+    assert publisher.manifest("missing") is None
+
+
+def test_origin_store_too_small_raises():
+    publisher = make_publisher(capacity=1_000)
+    with pytest.raises(ConfigurationError):
+        publisher.publish_synthetic("big", 10_000, 5_000)
+
+
+def test_publisher_type_checks():
+    with pytest.raises(ConfigurationError):
+        ContentPublisher(ContentStore(), HID("x"), HID("server"))
+    with pytest.raises(ConfigurationError):
+        ContentPublisher(ContentStore(), NID("origin"), NID("x"))

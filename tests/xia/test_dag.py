@@ -1,0 +1,126 @@
+"""Tests for DAG addresses and fallback semantics."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.xia import CID, DagAddress, HID, NID, SID
+
+
+CHUNK = CID(b"chunk payload")
+SERVER_HID = HID("origin-server")
+SERVER_NID = NID("origin-net")
+EDGE_HID = HID("edge-cache")
+EDGE_NID = NID("edge-a")
+
+
+def test_content_address_shape():
+    address = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    assert address.intent == CHUNK
+    assert address.routes == ((), (SERVER_NID, SERVER_HID))
+
+
+def test_content_address_type_checked():
+    with pytest.raises(AddressError):
+        DagAddress.content(SERVER_HID, SERVER_NID, SERVER_HID)
+    with pytest.raises(AddressError):
+        DagAddress.content(CHUNK, SERVER_HID, SERVER_HID)
+
+
+def test_host_address_with_and_without_nid():
+    direct = DagAddress.host(SERVER_HID)
+    assert direct.routes == ((),)
+    routed = DagAddress.host(SERVER_HID, SERVER_NID)
+    assert routed.routes == ((SERVER_NID,),)
+    assert routed.intent == SERVER_HID
+
+
+def test_service_address():
+    sid = SID("staging-vnf")
+    address = DagAddress.service(sid, EDGE_NID, EDGE_HID)
+    assert address.intent == sid
+    assert address.routes == ((), (EDGE_NID, EDGE_HID))
+
+
+def test_route_may_not_contain_intent():
+    with pytest.raises(AddressError):
+        DagAddress(SERVER_HID, routes=((SERVER_HID,),))
+
+
+def test_next_candidates_priority_order():
+    address = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    # Nothing visited: try the CID first, then the fallback NID.
+    assert address.next_candidates() == [CHUNK, SERVER_NID]
+    # Inside the server network: NID satisfied, so try the HID.
+    assert address.next_candidates({SERVER_NID}) == [CHUNK, SERVER_HID]
+    # At the server host: all waypoints satisfied; only the intent remains.
+    assert address.next_candidates({SERVER_NID, SERVER_HID}) == [CHUNK]
+
+
+def test_next_candidates_deduplicates():
+    address = DagAddress(CHUNK, routes=((), ()))
+    assert address.next_candidates() == [CHUNK]
+
+
+def test_replace_fallback_rewrites_route_keeps_intent():
+    original = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    staged = original.replace_fallback(EDGE_NID, EDGE_HID)
+    assert staged.intent == CHUNK
+    assert staged.routes == ((), (EDGE_NID, EDGE_HID))
+    assert original.routes == ((), (SERVER_NID, SERVER_HID))  # unchanged
+
+
+def test_replace_fallback_without_direct_route():
+    address = DagAddress.host(SERVER_HID, SERVER_NID)
+    moved = address.replace_fallback(EDGE_NID, EDGE_HID)
+    assert moved.routes == ((EDGE_NID, EDGE_HID),)
+
+
+def test_fallback_accessors():
+    address = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    assert address.fallback_nid == SERVER_NID
+    assert address.fallback_hid == SERVER_HID
+    assert DagAddress(CHUNK).fallback_nid is None
+    assert DagAddress(CHUNK).fallback_hid is None
+
+
+def test_to_string_parse_roundtrip():
+    for address in (
+        DagAddress.content(CHUNK, SERVER_NID, SERVER_HID),
+        DagAddress.host(SERVER_HID, SERVER_NID),
+        DagAddress.host(SERVER_HID),
+        DagAddress.service(SID("svc"), EDGE_NID, EDGE_HID),
+    ):
+        assert DagAddress.parse(address.to_string()) == address
+
+
+def test_parse_rejects_inconsistent_intent():
+    a = DagAddress.host(SERVER_HID).to_string()
+    b = DagAddress.host(EDGE_HID).to_string()
+    with pytest.raises(AddressError):
+        DagAddress.parse(f"{a} | {b}")
+
+
+def test_parse_rejects_empty():
+    with pytest.raises(AddressError):
+        DagAddress.parse("")
+
+
+def test_value_semantics():
+    a = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    b = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != DagAddress.content(CHUNK, EDGE_NID, EDGE_HID)
+
+
+def test_immutability():
+    address = DagAddress.host(SERVER_HID)
+    with pytest.raises(AttributeError):
+        address.intent = EDGE_HID
+
+
+def test_nodes_lists_intent_last():
+    address = DagAddress.content(CHUNK, SERVER_NID, SERVER_HID)
+    nodes = address.nodes()
+    assert nodes[-1].xid == CHUNK
+    assert [node.xid for node in nodes[:-1]] == [SERVER_NID, SERVER_HID]
