@@ -21,6 +21,7 @@ from repro.core.profile import ChunkProfile
 from repro.core.states import StagingState
 from repro.errors import TransportError
 from repro.mobility.association import Association, AssociationController
+from repro.obs.events import ChunkFetched
 from repro.sim import Simulator
 from repro.transport.chunkfetch import ChunkFetcher, FetchOutcome
 from repro.transport.reliable import TransportEndpoint
@@ -80,6 +81,7 @@ class ChunkManager:
             yield self.sim.timeout(0.0)
 
         started = self.sim.now
+        fell_back = False
         if self.config.xfetch_control_overhead > 0:
             # Delegation-API cost: poll the Chunk Profile, refresh
             # staging state, sync with the Staging Manager (IPC).
@@ -95,6 +97,7 @@ class ChunkManager:
             # The staged copy is unreachable (edge cache gone, stale
             # announcement): fall back to the origin (Table II).
             self.fallbacks += 1
+            fell_back = True
             record.staging_state = StagingState.DONE
             record.new_dag = None
             outcome = yield self.sim.process(self.fetcher.fetch(record.raw_dag))
@@ -102,14 +105,20 @@ class ChunkManager:
             if handoff is not None:
                 handoff.fetch_active = False
 
-        self._account(record, outcome, self.sim.now - started)
+        self._account(record, outcome, self.sim.now - started, fell_back)
         if handoff is not None:
             handoff.on_chunk_boundary()
         return outcome
 
     # -- bookkeeping ----------------------------------------------------------------
 
-    def _account(self, record, outcome: FetchOutcome, latency: float) -> None:
+    def _account(
+        self,
+        record,
+        outcome: FetchOutcome,
+        latency: float,
+        fell_back: bool = False,
+    ) -> None:
         origin_hid = record.raw_dag.fallback_hid
         from_edge = (
             outcome.served_by_hid is not None
@@ -123,6 +132,16 @@ class ChunkManager:
             if record.staging_state is StagingState.BLANK:
                 # Fetched directly (no VNF available): never stage it.
                 record.staging_state = StagingState.DONE
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(
+                ChunkFetched(
+                    cid=record.cid.short,
+                    latency=latency,
+                    from_edge=from_edge,
+                    fallback=fell_back,
+                )
+            )
 
     def __repr__(self) -> str:
         return (

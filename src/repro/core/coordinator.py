@@ -25,6 +25,7 @@ from repro.core.network_sensor import NetworkSensor
 from repro.core.profile import ChunkProfile
 from repro.core.states import StagingState
 from repro.core.tracker import StagingTracker
+from repro.obs.events import CoordinatorTick
 from repro.sim import Simulator
 
 
@@ -99,11 +100,17 @@ class StagingCoordinator:
     def tick(self) -> int:
         """One coordination round; returns chunks newly signalled."""
         self.ticks += 1
+        probe = self.sim.probe
         vnf = self.sensor.current_vnf_address()
         if vnf is None:
+            if probe.active:
+                probe.emit(
+                    CoordinatorTick(signalled=0, decision=False, offline=True)
+                )
             return 0  # offline, or no VNF here (fault-tolerance path)
 
         signalled = 0
+        decided = False
         # Re-signal staging requests whose confirmations never arrived
         # (lost on the wireless segment or sent while we were away).
         stale = self.profile.stale_pending(
@@ -118,7 +125,14 @@ class StagingCoordinator:
             fresh = self.profile.next_to_stage(deficit)
             if fresh:
                 self.decisions += 1
+                decided = True
                 signalled += self.tracker.signal(fresh, vnf, label="eq1")
+        if probe.active:
+            probe.emit(
+                CoordinatorTick(
+                    signalled=signalled, decision=decided, offline=False
+                )
+            )
         return signalled
 
     def __repr__(self) -> str:

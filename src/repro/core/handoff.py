@@ -20,6 +20,7 @@ from typing import Callable, Optional
 from repro.core.config import SoftStageConfig
 from repro.mobility.association import Association, AssociationController
 from repro.mobility.scanner import Scanner, VisibleNetwork
+from repro.obs.events import HandoffCompleted, HandoffDeferred, HandoffStarted
 from repro.sim import Simulator
 
 
@@ -126,6 +127,9 @@ class HandoffManager:
             ):
                 self.pending_target = target
                 self.deferred_handoffs += 1
+                probe = self.sim.probe
+                if probe.active:
+                    probe.emit(HandoffDeferred(target=target.name))
                 if self.prestage is not None:
                     self.prestage(target)
             return
@@ -133,15 +137,31 @@ class HandoffManager:
 
     # -- execution ------------------------------------------------------------
 
+    _executing_target: str = ""
+    _executing_since: float = 0.0
+
     def _execute(self, target: VisibleNetwork) -> None:
         self.pending_target = None
         self.handoffs += 1
         self._join_inflight = True
+        self._executing_target = target.name
+        self._executing_since = self.sim.now
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(HandoffStarted(target=target.name))
         join = self.sim.process(self.controller.associate(target.name))
         join.callbacks.append(self._join_finished)
 
     def _join_finished(self, event) -> None:
         self._join_inflight = False
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(
+                HandoffCompleted(
+                    target=self._executing_target,
+                    duration=self.sim.now - self._executing_since,
+                )
+            )
 
     def on_chunk_boundary(self) -> None:
         """Called by the Chunk Manager when a chunk transfer finishes;

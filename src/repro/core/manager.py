@@ -20,6 +20,7 @@ from repro.core.profile import ChunkProfile
 from repro.core.tracker import StagingTracker
 from repro.mobility.association import AssociationController
 from repro.mobility.scanner import Scanner, VisibleNetwork
+from repro.obs.events import PrestageSignalled
 from repro.sim import Simulator
 from repro.transport.reliable import TransportEndpoint
 
@@ -97,6 +98,11 @@ class StagingManager:
         records = self.profile.next_to_stage(count)
         if records:
             self.prestage_signals += 1
+            probe = self.sim.probe
+            if probe.active:
+                probe.emit(
+                    PrestageSignalled(target=target.name, count=len(records))
+                )
             self.tracker.signal(records, vnf, label=f"prestage:{target.name}")
 
     def __repr__(self) -> str:

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.core.profile import EwmaEstimator
 from repro.mobility.association import Association, AssociationController
 from repro.mobility.scanner import Scanner, VisibleNetwork
+from repro.obs.events import CoverageGap, EncounterEnded
 from repro.sim import Simulator
 from repro.xia.dag import DagAddress
 
@@ -48,12 +49,20 @@ class NetworkSensor:
 
     def _on_attach(self, association: Association) -> None:
         if self._detached_at is not None:
-            self.gap_duration.observe(self.sim.now - self._detached_at)
+            gap = self.sim.now - self._detached_at
+            self.gap_duration.observe(gap)
             self._detached_at = None
+            probe = self.sim.probe
+            if probe.active:
+                probe.emit(CoverageGap(duration=gap))
 
     def _on_detach(self, association: Association) -> None:
         self._detached_at = self.sim.now
-        self.encounter_duration.observe(self.sim.now - association.since)
+        encounter = self.sim.now - association.since
+        self.encounter_duration.observe(encounter)
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(EncounterEnded(duration=encounter))
 
     # -- queries ---------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.core.profile import ChunkProfile, ChunkRecord
 from repro.core.states import StagingState
+from repro.obs.events import ChunkStaged, StagingSignalled, StaleStagingResponse
 from repro.sim import Simulator
 from repro.xia.dag import DagAddress
 from repro.xia.ids import XID
@@ -72,6 +73,9 @@ class StagingTracker:
         )
         self.host.send(request)
         self.signals_sent += 1
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(StagingSignalled(count=len(chunk_entries), label=label))
         return len(chunk_entries)
 
     def _local_dag(self) -> DagAddress:
@@ -83,13 +87,18 @@ class StagingTracker:
     def on_response(self, packet: Packet, port: "Port") -> None:
         payload = packet.payload
         cid: XID = payload["cid"]
+        probe = self.sim.probe
         if cid not in self.profile:
             self.stale_responses += 1
+            if probe.active:
+                probe.emit(StaleStagingResponse(cid=cid.short))
             return
         record = self.profile.get(cid)
         if record.staging_state is StagingState.READY:
             # Duplicate announcement (re-signalled chunk): ignore.
             self.stale_responses += 1
+            if probe.active:
+                probe.emit(StaleStagingResponse(cid=cid.short))
             return
         self.responses_received += 1
         nid, hid = payload["nid"], payload["hid"]
@@ -103,6 +112,14 @@ class StagingTracker:
             fetch_rtt=control_rtt,
         )
         self.profile.observe_staging(staging_latency, control_rtt)
+        if probe.active:
+            probe.emit(
+                ChunkStaged(
+                    cid=cid.short,
+                    staging_latency=staging_latency,
+                    control_rtt=control_rtt,
+                )
+            )
 
     def _control_rtt(self, cid: XID, staging_latency: Optional[float]) -> Optional[float]:
         sent_at = self._request_sent_at.pop(cid, None)

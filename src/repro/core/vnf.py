@@ -17,6 +17,11 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import TransportError
+from repro.obs.events import (
+    StageRequestReceived,
+    VnfStageCompleted,
+    VnfStageFailed,
+)
 from repro.sim import Simulator
 from repro.transport.chunkfetch import ChunkFetcher
 from repro.transport.reliable import TransportEndpoint
@@ -62,8 +67,14 @@ class StagingVNF:
         if packet.ptype is not PacketType.STAGE_REQUEST:
             return
         self.requests_received += 1
+        chunks = packet.payload.get("chunks", ())
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(
+                StageRequestReceived(vnf=self.router.name, chunks=len(chunks))
+            )
         reply_to = packet.src
-        for entry in packet.payload.get("chunks", ()):
+        for entry in chunks:
             self._handle_one(entry["cid"], entry["raw_dag"], reply_to)
 
     def _handle_one(self, cid: XID, raw_dag: DagAddress, reply_to: DagAddress) -> None:
@@ -84,10 +95,13 @@ class StagingVNF:
 
     def _stage_one(self, cid: XID, raw_dag: DagAddress):
         started = self.sim.now
+        probe = self.sim.probe
         try:
             outcome = yield self.sim.process(self.fetcher.fetch(raw_dag))
         except TransportError:
             self.stage_failures += 1
+            if probe.active:
+                probe.emit(VnfStageFailed(vnf=self.router.name, cid=cid.short))
             self._in_flight.pop(cid, None)
             return
         latency = self.sim.now - started
@@ -95,6 +109,12 @@ class StagingVNF:
             self.store.put(outcome.chunk, pin=True)
         self._staged_latency[cid] = latency
         self.chunks_staged += 1
+        if probe.active:
+            probe.emit(
+                VnfStageCompleted(
+                    vnf=self.router.name, cid=cid.short, latency=latency
+                )
+            )
         waiters = self._in_flight.pop(cid, [])
         for reply_to in waiters:
             self._announce(cid, reply_to, latency)

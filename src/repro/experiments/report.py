@@ -55,6 +55,19 @@ class GainSeries:
         return "\n".join(lines)
 
 
+def render_metrics(
+    report: dict[str, object],
+    title: str = "Instrumentation metrics",
+) -> str:
+    """Render a :meth:`MetricsCollector.report` snapshot as a table.
+
+    Rows are sorted by metric name so the rendering is deterministic
+    across live and replayed collectors.
+    """
+    rows = [(name, float(report[name])) for name in sorted(report)]
+    return render_table(title, ("metric", "value"), rows)
+
+
 def render_table(
     title: str,
     headers: Sequence[str],

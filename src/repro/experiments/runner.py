@@ -1,8 +1,17 @@
-"""Running one experiment: build scenario, run download, collect metrics."""
+"""Running one experiment: build scenario, run download, collect metrics.
+
+Pass ``instrument=True`` (or a ``trace_path``) to attach the
+cross-layer instrumentation for free: a
+:class:`~repro.metrics.collector.MetricsCollector` subscribed to the
+scenario simulator's event bus, and optionally a JSONL
+:class:`~repro.obs.trace.TraceExporter` whose output
+:func:`~repro.obs.trace.replay_trace` turns back into an identical
+metrics report offline.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.client import DownloadResult
@@ -10,7 +19,9 @@ from repro.core.handoff import HandoffPolicy
 from repro.errors import ConfigurationError
 from repro.experiments.params import MicrobenchParams
 from repro.experiments.scenario import TestbedScenario
+from repro.metrics.collector import MetricsCollector
 from repro.mobility.coverage import Coverage
+from repro.obs.trace import TraceExporter
 
 
 @dataclass
@@ -22,6 +33,10 @@ class ExperimentResult:
     download: DownloadResult
     #: Simulated seconds to finish (or reach the deadline).
     download_time: float
+    #: Bus-fed collector (only when the run was instrumented).
+    metrics: Optional[MetricsCollector] = field(default=None, repr=False)
+    #: JSONL trace location (only when ``trace_path`` was given).
+    trace_path: Optional[str] = None
 
     @property
     def throughput_bps(self) -> float:
@@ -38,12 +53,19 @@ def run_download(
     with_vnf: bool = True,
     num_edges: int = 2,
     segment_scale: int = 1,
+    instrument: bool = False,
+    trace_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Build a fresh testbed and run one full download.
 
     ``system`` is ``"softstage"`` or ``"xftp"``.  ``segment_scale`` > 1
     runs the transport in coarse-grained segment mode (see
     :meth:`repro.transport.config.TransportConfig.scaled`).
+
+    ``instrument=True`` subscribes a :class:`MetricsCollector` to the
+    run's event bus and returns it on the result; ``trace_path``
+    additionally writes every event as JSONL (and implies
+    ``instrument=True``).
     """
     from repro.transport.config import XIA_CHUNK
 
@@ -55,20 +77,32 @@ def run_download(
         with_vnf=with_vnf,
         transport_config=XIA_CHUNK.scaled(segment_scale),
     )
-    content = scenario.publish_default_content()
-    if system == "softstage":
-        client = scenario.make_softstage_client(handoff_policy=handoff_policy)
-    elif system == "xftp":
-        client = scenario.make_xftp_client()
-    else:
-        raise ConfigurationError(f"unknown system {system!r}")
-    process = scenario.sim.process(client.download(content, deadline=deadline))
-    download: DownloadResult = scenario.sim.run(until=process)
+    collector: Optional[MetricsCollector] = None
+    exporter: Optional[TraceExporter] = None
+    if instrument or trace_path is not None:
+        collector = MetricsCollector(scenario.sim).attach(scenario.sim.probe.bus)
+        if trace_path is not None:
+            exporter = TraceExporter(trace_path).attach(scenario.sim.probe.bus)
+    try:
+        content = scenario.publish_default_content()
+        if system == "softstage":
+            client = scenario.make_softstage_client(handoff_policy=handoff_policy)
+        elif system == "xftp":
+            client = scenario.make_xftp_client()
+        else:
+            raise ConfigurationError(f"unknown system {system!r}")
+        process = scenario.sim.process(client.download(content, deadline=deadline))
+        download: DownloadResult = scenario.sim.run(until=process)
+    finally:
+        if exporter is not None:
+            exporter.close()
     return ExperimentResult(
         system=system,
         seed=seed,
         download=download,
         download_time=download.duration,
+        metrics=collector,
+        trace_path=exporter.path if exporter is not None else None,
     )
 
 

@@ -84,6 +84,7 @@ class TestbedScenario:
         self.seed = seed
         self.streams = RandomStreams(seed)
         self.sim = Simulator()
+        self.sim.probe.run_id = f"seed{seed}"
         self.network = Network(self.sim, self.streams)
         self.with_vnf = with_vnf
         self.transport_config = (transport_config or XIA_CHUNK).with_(
@@ -164,7 +165,11 @@ class TestbedScenario:
             name = chr(ord("A") + index)
             router = net.add_device(self._router(f"edge-{name}"))
             net.register_network(router.nid, router)
-            store = ContentStore(capacity_bytes=1_000_000_000)
+            store = ContentStore(
+                capacity_bytes=1_000_000_000,
+                probe=sim.probe,
+                name=f"xcache-{name}",
+            )
             router.content_store = store
             ap = net.add_device(
                 AccessPoint(sim, f"ap-{name}", HID(f"ap-{name}"))

@@ -1,4 +1,12 @@
-"""A per-run metrics collector: named counters, series and samples."""
+"""A per-run metrics collector: named counters, series and samples.
+
+Beyond the manual ``count``/``observe``/``record`` API, a collector can
+subscribe to an instrumentation bus (:meth:`MetricsCollector.attach`)
+and aggregate the typed events every layer publishes (see
+:mod:`repro.obs`).  The same event-to-metric mapping is used live and
+when replaying a JSONL trace (:func:`repro.obs.trace.replay_trace`),
+so an offline replay reproduces a live run's :meth:`report` exactly.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ from collections import defaultdict
 from typing import Optional
 
 from repro.metrics.stats import Summary, summarize
+from repro.obs import events as ev
+from repro.obs.bus import EventBus, Stamped
 from repro.sim import Monitor, Simulator, TimeSeries
 
 
@@ -18,6 +28,7 @@ class MetricsCollector:
         self._monitors: dict[str, Monitor] = {}
         self._series: dict[str, TimeSeries] = {}
         self._samples: dict[str, list[float]] = defaultdict(list)
+        self._buses: list[EventBus] = []
 
     # -- counters -----------------------------------------------------------
 
@@ -72,3 +83,182 @@ class MetricsCollector:
                 out[f"{name}.min"] = monitor.minimum
                 out[f"{name}.max"] = monitor.maximum
         return out
+
+    # -- event-bus subscription ----------------------------------------------
+
+    def attach(self, bus: EventBus) -> "MetricsCollector":
+        """Aggregate every event published on ``bus`` (see mapping below)."""
+        bus.subscribe_all(self._on_event)
+        self._buses.append(bus)
+        return self
+
+    def detach(self, bus: Optional[EventBus] = None) -> None:
+        """Stop listening (to ``bus``, or to every attached bus)."""
+        buses = [bus] if bus is not None else list(self._buses)
+        for b in buses:
+            b.unsubscribe_all(self._on_event)
+            if b in self._buses:
+                self._buses.remove(b)
+
+    def _on_event(self, stamped: Stamped) -> None:
+        handler = _EVENT_METRICS.get(type(stamped.event))
+        if handler is not None:
+            handler(self, stamped.event)
+
+
+# -- the event-to-metric mapping ---------------------------------------------
+#
+# One function per event type; counter names mirror the legacy ad-hoc
+# per-module counters so the parity tests can assert equality (e.g.
+# ``coordinator.ticks`` == StagingCoordinator.ticks).
+
+
+def _on_process_failed(c: MetricsCollector, e: ev.ProcessFailed) -> None:
+    c.count("sim.process_failures")
+
+
+def _on_packet_dropped(c: MetricsCollector, e: ev.PacketDropped) -> None:
+    c.count(f"net.drops.{e.reason}")
+
+
+def _on_link_state(c: MetricsCollector, e: ev.LinkStateChanged) -> None:
+    c.count("net.link_up" if e.up else "net.link_down")
+
+
+def _on_link_rexmit(c: MetricsCollector, e: ev.LinkRetransmission) -> None:
+    c.count("net.arq_retransmissions", e.retries)
+
+
+def _on_segment_timeout(c: MetricsCollector, e: ev.SegmentTimeout) -> None:
+    c.count("transport.timeouts")
+    c.observe("transport.rto", e.rto)
+
+
+def _on_segment_rexmit(c: MetricsCollector, e: ev.SegmentRetransmitted) -> None:
+    c.count("transport.retransmissions")
+
+
+def _on_session_migrated(c: MetricsCollector, e: ev.SessionMigrated) -> None:
+    c.count("transport.migrations")
+
+
+def _on_cache_hit(c: MetricsCollector, e: ev.CacheHit) -> None:
+    c.count("cache.hits")
+
+
+def _on_cache_miss(c: MetricsCollector, e: ev.CacheMiss) -> None:
+    c.count("cache.misses")
+
+
+def _on_cache_stored(c: MetricsCollector, e: ev.CacheStored) -> None:
+    c.count("cache.insertions")
+    c.count("cache.stored_bytes", e.size_bytes)
+
+
+def _on_cache_evicted(c: MetricsCollector, e: ev.CacheEvicted) -> None:
+    c.count("cache.evictions")
+    c.count("cache.evicted_bytes", e.size_bytes)
+
+
+def _on_coordinator_tick(c: MetricsCollector, e: ev.CoordinatorTick) -> None:
+    c.count("coordinator.ticks")
+    if e.offline:
+        c.count("coordinator.offline_ticks")
+    if e.decision:
+        c.count("coordinator.decisions")
+
+
+def _on_staging_signalled(c: MetricsCollector, e: ev.StagingSignalled) -> None:
+    c.count("staging.signals")
+    c.count("staging.chunks_signalled", e.count)
+    if e.label == "re-signal":
+        c.count("staging.resignals")
+
+
+def _on_chunk_staged(c: MetricsCollector, e: ev.ChunkStaged) -> None:
+    c.count("staging.responses")
+    if e.staging_latency is not None:
+        c.observe("staging.latency", e.staging_latency)
+    if e.control_rtt is not None:
+        c.observe("staging.control_rtt", e.control_rtt)
+
+
+def _on_stale_response(c: MetricsCollector, e: ev.StaleStagingResponse) -> None:
+    c.count("staging.stale_responses")
+
+
+def _on_stage_request(c: MetricsCollector, e: ev.StageRequestReceived) -> None:
+    c.count("vnf.requests")
+
+
+def _on_vnf_staged(c: MetricsCollector, e: ev.VnfStageCompleted) -> None:
+    c.count("vnf.staged")
+    c.observe("vnf.staging_latency", e.latency)
+
+
+def _on_vnf_failed(c: MetricsCollector, e: ev.VnfStageFailed) -> None:
+    c.count("vnf.failures")
+
+
+def _on_chunk_fetched(c: MetricsCollector, e: ev.ChunkFetched) -> None:
+    c.count("chunks.fetched")
+    c.count("chunks.from_edge" if e.from_edge else "chunks.from_origin")
+    if e.fallback:
+        c.count("chunks.fallbacks")
+    c.observe("fetch.latency", e.latency)
+
+
+def _on_handoff_started(c: MetricsCollector, e: ev.HandoffStarted) -> None:
+    c.count("handoff.executed")
+
+
+def _on_handoff_completed(c: MetricsCollector, e: ev.HandoffCompleted) -> None:
+    c.observe("handoff.duration", e.duration)
+
+
+def _on_handoff_deferred(c: MetricsCollector, e: ev.HandoffDeferred) -> None:
+    c.count("handoff.deferred")
+
+
+def _on_prestage(c: MetricsCollector, e: ev.PrestageSignalled) -> None:
+    c.count("staging.prestage_signals")
+    c.count("staging.prestaged_chunks", e.count)
+
+
+def _on_coverage_gap(c: MetricsCollector, e: ev.CoverageGap) -> None:
+    c.count("coverage.gaps")
+    c.observe("coverage.gap_duration", e.duration)
+
+
+def _on_encounter_ended(c: MetricsCollector, e: ev.EncounterEnded) -> None:
+    c.count("coverage.encounters")
+    c.observe("coverage.encounter_duration", e.duration)
+
+
+_EVENT_METRICS = {
+    ev.ProcessFailed: _on_process_failed,
+    ev.PacketDropped: _on_packet_dropped,
+    ev.LinkStateChanged: _on_link_state,
+    ev.LinkRetransmission: _on_link_rexmit,
+    ev.SegmentTimeout: _on_segment_timeout,
+    ev.SegmentRetransmitted: _on_segment_rexmit,
+    ev.SessionMigrated: _on_session_migrated,
+    ev.CacheHit: _on_cache_hit,
+    ev.CacheMiss: _on_cache_miss,
+    ev.CacheStored: _on_cache_stored,
+    ev.CacheEvicted: _on_cache_evicted,
+    ev.CoordinatorTick: _on_coordinator_tick,
+    ev.StagingSignalled: _on_staging_signalled,
+    ev.ChunkStaged: _on_chunk_staged,
+    ev.StaleStagingResponse: _on_stale_response,
+    ev.StageRequestReceived: _on_stage_request,
+    ev.VnfStageCompleted: _on_vnf_staged,
+    ev.VnfStageFailed: _on_vnf_failed,
+    ev.ChunkFetched: _on_chunk_fetched,
+    ev.HandoffStarted: _on_handoff_started,
+    ev.HandoffCompleted: _on_handoff_completed,
+    ev.HandoffDeferred: _on_handoff_deferred,
+    ev.PrestageSignalled: _on_prestage,
+    ev.CoverageGap: _on_coverage_gap,
+    ev.EncounterEnded: _on_encounter_ended,
+}

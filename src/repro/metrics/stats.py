@@ -27,8 +27,15 @@ def percentile(values: Sequence[float], q: float) -> float:
     high = math.ceil(rank)
     if low == high:
         return ordered[low]
+    lower, upper = ordered[low], ordered[high]
+    if lower == upper:
+        # Short-circuit: interpolating equal (e.g. subnormal) values
+        # can underflow below both endpoints.
+        return lower
     fraction = rank - low
-    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+    interpolated = lower * (1 - fraction) + upper * fraction
+    # Clamp: floating-point rounding must never escape the bracket.
+    return min(max(interpolated, lower), upper)
 
 
 def confidence_interval_95(values: Sequence[float]) -> float:

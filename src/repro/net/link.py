@@ -18,6 +18,7 @@ from collections import deque
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs.events import LinkStateChanged, PacketDropped
 from repro.sim import Simulator
 from repro.sim.core import Event
 from repro.net.loss import LossModel, NoLoss
@@ -115,14 +116,24 @@ class LinkDirection:
         #: to one Resource shared by both directions).
         self.medium = None
 
+    def _drop(self, count: int, reason: str) -> None:
+        """Publish drop events (counters are updated by the caller)."""
+        probe = self.sim.probe
+        if probe.active and count:
+            name = self.source.name
+            for _ in range(count):
+                probe.emit(PacketDropped(link=name, reason=reason))
+
     # -- queueing -----------------------------------------------------------
 
     def enqueue(self, packet: "Packet") -> None:
         if not self.source.is_up:
             self.stats.dropped_down += 1
+            self._drop(1, "down")
             return
         if self._queued_bytes + packet.size_bytes > self.queue_limit_bytes:
             self.stats.dropped_queue += 1
+            self._drop(1, "queue")
             return
         self._queue.append(packet)
         self._queued_bytes += packet.size_bytes
@@ -133,6 +144,7 @@ class LinkDirection:
     def clear(self) -> None:
         """Drop everything queued (link went down)."""
         self.stats.dropped_down += len(self._queue)
+        self._drop(len(self._queue), "down")
         self._queue.clear()
         self._queued_bytes = 0
 
@@ -179,8 +191,10 @@ class LinkDirection:
             self.medium.release(medium_request)
         if not self.source.is_up:
             self.stats.dropped_down += 1
+            self._drop(1, "down")
         elif self.sample_loss(packet):
             self.stats.dropped_loss += 1
+            self._drop(1, "loss")
         else:
             # Propagation: one bare event delivering at the far end.
             arrival = Event(self.sim, name="arrival")
@@ -192,6 +206,7 @@ class LinkDirection:
         def deliver(event: Event) -> None:
             if not self.source.is_up:
                 self.stats.dropped_down += 1
+                self._drop(1, "down")
                 return
             self.stats.delivered_packets += 1
             self.stats.delivered_bytes += packet.size_bytes
@@ -264,10 +279,15 @@ class Link:
 
     def set_up(self, up: bool) -> None:
         """Bring the link up or down; going down drops queued packets."""
+        changed = self._up != up
         if self._up and not up:
             self.forward.clear()
             self.backward.clear()
         self._up = up
+        if changed:
+            probe = self.sim.probe
+            if probe.active:
+                probe.emit(LinkStateChanged(link=self.name, up=up))
 
     def attach(self, device_a: "Device", device_b: "Device") -> None:
         """Hand each endpoint port to its device."""

@@ -24,6 +24,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.net.link import Link, LinkDirection
 from repro.net.loss import LossModel
+from repro.obs.events import LinkRetransmission
 from repro.util.validation import check_non_negative, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,6 +65,12 @@ class WirelessDirection(LinkDirection):
         single = packet.size_bytes * 8 / self.bandwidth_bps + self.frame_overhead
         retries = attempts - 1
         self.retransmissions += retries
+        if retries:
+            probe = self.sim.probe
+            if probe.active:
+                probe.emit(
+                    LinkRetransmission(link=self.source.name, retries=retries)
+                )
         return attempts * single + retries * self.retry_backoff
 
     def sample_loss(self, packet: "Packet") -> bool:

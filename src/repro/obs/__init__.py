@@ -1,0 +1,36 @@
+"""Cross-layer instrumentation: typed event bus, probe and tracing.
+
+This package is the observability spine of the reproduction.  Every
+layer — the simulation kernel, links, transports, XCache and the
+SoftStage control plane — publishes typed events
+(:mod:`repro.obs.events`) through its simulator's
+:class:`~repro.obs.probe.Probe` onto an :class:`~repro.obs.bus.EventBus`.
+Consumers subscribe by event type:
+
+- :class:`repro.metrics.collector.MetricsCollector` aggregates events
+  into counters/samples (``collector.attach(sim.probe.bus)``);
+- :class:`~repro.obs.trace.TraceExporter` writes a JSONL trace that
+  :func:`~repro.obs.trace.replay_trace` can turn back into an identical
+  metrics report offline.
+
+With no subscribers attached the bus is zero-cost: publishers check
+``probe.active`` (a plain attribute read) before constructing events.
+"""
+
+from repro.obs.bus import EventBus, Stamped
+from repro.obs.probe import Probe
+from repro.obs.trace import TraceExporter, read_trace, replay_trace
+from repro.obs import events
+from repro.obs.events import EVENT_TYPES, ObsEvent
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventBus",
+    "ObsEvent",
+    "Probe",
+    "Stamped",
+    "TraceExporter",
+    "events",
+    "read_trace",
+    "replay_trace",
+]

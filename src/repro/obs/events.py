@@ -1,0 +1,289 @@
+"""The typed instrumentation event taxonomy.
+
+Every observable happening in the stack is a small frozen dataclass
+whose fields are JSON primitives (str/int/float/bool/None) so a trace
+can round-trip through JSONL losslessly.  Layers construct these only
+when at least one subscriber is attached (see
+:class:`repro.obs.probe.Probe`), so an uninstrumented run pays nothing
+beyond one attribute check per emit site.
+
+The taxonomy, by emitting layer:
+
+========== ==========================================================
+Layer      Events
+========== ==========================================================
+sim        :class:`ProcessFailed`
+net        :class:`PacketDropped`, :class:`LinkStateChanged`,
+           :class:`LinkRetransmission`
+transport  :class:`SegmentTimeout`, :class:`SegmentRetransmitted`,
+           :class:`SessionMigrated`
+xcache     :class:`CacheHit`, :class:`CacheMiss`, :class:`CacheStored`,
+           :class:`CacheEvicted`
+core       :class:`CoordinatorTick`, :class:`StagingSignalled`,
+           :class:`ChunkStaged`, :class:`StaleStagingResponse`,
+           :class:`StageRequestReceived`, :class:`VnfStageCompleted`,
+           :class:`VnfStageFailed`, :class:`ChunkFetched`,
+           :class:`HandoffStarted`, :class:`HandoffCompleted`,
+           :class:`HandoffDeferred`, :class:`PrestageSignalled`,
+           :class:`CoverageGap`, :class:`EncounterEnded`
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class ObsEvent:
+    """Marker base class for all instrumentation events."""
+
+
+# -- sim ------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessFailed(ObsEvent):
+    """A simulation process terminated with an exception."""
+
+    process: str
+    error: str
+
+
+# -- net ------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PacketDropped(ObsEvent):
+    """A link direction dropped a packet.
+
+    ``reason`` is one of ``"loss"`` (channel loss, including wireless
+    residual loss after ARQ), ``"queue"`` (tail drop) or ``"down"``
+    (link taken down with the packet queued or in flight).
+    """
+
+    link: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class LinkStateChanged(ObsEvent):
+    """A link went up or down (e.g. a wireless radio (dis)association)."""
+
+    link: str
+    up: bool
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRetransmission(ObsEvent):
+    """Link-layer ARQ retried a frame ``retries`` times (wireless)."""
+
+    link: str
+    retries: int
+
+
+# -- transport -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentTimeout(ObsEvent):
+    """A sender session's retransmission timer fired."""
+
+    session: int
+    seq: int
+    rto: float
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentRetransmitted(ObsEvent):
+    """A DATA segment was retransmitted (fast retransmit or RTO)."""
+
+    session: int
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class SessionMigrated(ObsEvent):
+    """A sender accepted a MIGRATE and resumed toward a new address."""
+
+    session: int
+
+
+# -- xcache ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHit(ObsEvent):
+    store: str
+    cid: str
+
+
+@dataclass(frozen=True, slots=True)
+class CacheMiss(ObsEvent):
+    store: str
+    cid: str
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStored(ObsEvent):
+    store: str
+    cid: str
+    size_bytes: int
+    pinned: bool
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEvicted(ObsEvent):
+    store: str
+    cid: str
+    size_bytes: int
+
+
+# -- core ------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CoordinatorTick(ObsEvent):
+    """One staging-coordinator round.
+
+    ``offline`` marks rounds skipped for lack of a reachable VNF;
+    ``decision`` marks rounds that signalled fresh (non-re-signal)
+    chunks; ``signalled`` is the total chunks signalled this round.
+    """
+
+    signalled: int
+    decision: bool
+    offline: bool
+
+
+@dataclass(frozen=True, slots=True)
+class StagingSignalled(ObsEvent):
+    """The tracker sent one STAGE_REQUEST batch to a VNF."""
+
+    count: int
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkStaged(ObsEvent):
+    """The client learned a chunk is READY at the edge (step 6)."""
+
+    cid: str
+    staging_latency: Optional[float]
+    control_rtt: Optional[float]
+
+
+@dataclass(frozen=True, slots=True)
+class StaleStagingResponse(ObsEvent):
+    """A staging confirmation arrived for an unknown/already-READY chunk."""
+
+    cid: str
+
+
+@dataclass(frozen=True, slots=True)
+class StageRequestReceived(ObsEvent):
+    """A VNF received one STAGE_REQUEST batch."""
+
+    vnf: str
+    chunks: int
+
+
+@dataclass(frozen=True, slots=True)
+class VnfStageCompleted(ObsEvent):
+    """A VNF finished prefetching one chunk into its XCache."""
+
+    vnf: str
+    cid: str
+    latency: float
+
+
+@dataclass(frozen=True, slots=True)
+class VnfStageFailed(ObsEvent):
+    """A VNF's prefetch of one chunk failed within the retry budget."""
+
+    vnf: str
+    cid: str
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkFetched(ObsEvent):
+    """The client completed one ``XfetchChunk*`` delegation call."""
+
+    cid: str
+    latency: float
+    from_edge: bool
+    fallback: bool
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffStarted(ObsEvent):
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffCompleted(ObsEvent):
+    target: str
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffDeferred(ObsEvent):
+    """A chunk-aware policy deferred a switch to the chunk boundary."""
+
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class PrestageSignalled(ObsEvent):
+    """Chunks were pre-staged into a handoff target's VNF."""
+
+    target: str
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageGap(ObsEvent):
+    """The client re-attached after ``duration`` seconds offline."""
+
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class EncounterEnded(ObsEvent):
+    """The client left a network after ``duration`` seconds attached."""
+
+    duration: float
+
+
+#: Name -> class registry used by the JSONL trace replayer.
+EVENT_TYPES: dict[str, type[ObsEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        ProcessFailed,
+        PacketDropped,
+        LinkStateChanged,
+        LinkRetransmission,
+        SegmentTimeout,
+        SegmentRetransmitted,
+        SessionMigrated,
+        CacheHit,
+        CacheMiss,
+        CacheStored,
+        CacheEvicted,
+        CoordinatorTick,
+        StagingSignalled,
+        ChunkStaged,
+        StaleStagingResponse,
+        StageRequestReceived,
+        VnfStageCompleted,
+        VnfStageFailed,
+        ChunkFetched,
+        HandoffStarted,
+        HandoffCompleted,
+        HandoffDeferred,
+        PrestageSignalled,
+        CoverageGap,
+        EncounterEnded,
+    )
+}

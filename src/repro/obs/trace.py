@@ -1,0 +1,110 @@
+"""JSONL trace export and offline replay.
+
+A :class:`TraceExporter` subscribes to a bus and appends one JSON
+object per event::
+
+    {"t": 12.5, "run": "seed0", "type": "ChunkFetched", "cid": "…", ...}
+
+Because event fields are JSON primitives and Python's ``json`` module
+round-trips floats exactly, replaying a trace through a fresh
+:class:`~repro.metrics.collector.MetricsCollector` reproduces the live
+collector's ``report()`` bit-for-bit (events are replayed in recorded
+order, so streaming statistics accumulate identically).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import IO, Iterator, Optional, Union
+
+from repro.obs.bus import EventBus, Stamped
+from repro.obs.events import EVENT_TYPES
+
+
+class TraceExporter:
+    """Writes every bus event to a JSONL file (or file-like object)."""
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh: IO[str] = path_or_file
+            self._owns_fh = False
+            self.path: Optional[str] = None
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns_fh = True
+            self.path = str(path_or_file)
+        self._bus: Optional[EventBus] = None
+        self.events_written = 0
+
+    def attach(self, bus: EventBus) -> "TraceExporter":
+        self._bus = bus
+        bus.subscribe_all(self._on_event)
+        return self
+
+    def _on_event(self, stamped: Stamped) -> None:
+        record = {
+            "t": stamped.time,
+            "run": stamped.run_id,
+            "type": type(stamped.event).__name__,
+        }
+        record.update(asdict(stamped.event))
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Detach from the bus and close the file (if we opened it)."""
+        if self._bus is not None:
+            self._bus.unsubscribe_all(self._on_event)
+            self._bus = None
+        if getattr(self._fh, "closed", False):
+            return
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path_or_file: Union[str, IO[str]]) -> Iterator[Stamped]:
+    """Yield :class:`Stamped` events from a JSONL trace, in file order."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file
+        close = False
+    else:
+        lines = open(path_or_file, encoding="utf-8")
+        close = True
+    try:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            cls = EVENT_TYPES[record.pop("type")]
+            time = record.pop("t")
+            run_id = record.pop("run")
+            yield Stamped(time, run_id, cls(**record))
+    finally:
+        if close:
+            lines.close()
+
+
+def replay_trace(path_or_file: Union[str, IO[str]], collector=None):
+    """Replay a JSONL trace into a :class:`MetricsCollector`.
+
+    Returns the collector; its ``report()`` equals the one a live
+    collector attached during the traced run would have produced.
+    """
+    if collector is None:
+        from repro.metrics.collector import MetricsCollector
+
+        collector = MetricsCollector()
+    bus = EventBus()
+    collector.attach(bus)
+    for stamped in read_trace(path_or_file):
+        bus.publish(stamped)
+    return collector

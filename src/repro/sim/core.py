@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs.probe import Probe
+
 #: Scheduling priorities.  Lower values run earlier at the same timestamp.
 URGENT = 0
 NORMAL = 1
@@ -101,6 +103,10 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Mirror another event's outcome (used for chaining)."""
+        if event._value is PENDING:
+            raise SimulationError(
+                f"cannot mirror {event!r}: the source event has not been triggered"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -131,6 +137,10 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process = None  # set by Process while running
+        #: Instrumentation handle (see :mod:`repro.obs`): every layer
+        #: holding a simulator reference publishes through this.
+        self.probe = Probe(self)
+        self._step_hooks: list[Callable[[float, Event], None]] = []
 
     @property
     def now(self) -> float:
@@ -158,12 +168,28 @@ class Simulator:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    # -- kernel hooks ---------------------------------------------------
+
+    def add_step_hook(self, hook: Callable[[float, Event], None]) -> None:
+        """Call ``hook(time, event)`` for every event the kernel pops.
+
+        Intended for profilers and debuggers; the per-step cost with no
+        hooks installed is a single truthiness check.
+        """
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(self, hook: Callable[[float, Event], None]) -> None:
+        self._step_hooks.remove(hook)
+
     def step(self) -> None:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self._step_hooks:
+            for hook in self._step_hooks:
+                hook(when, event)
         callbacks = event.callbacks
         event.callbacks = None  # marks the event as being processed
         event._processed = True

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from repro.obs.events import ProcessFailed
 from repro.sim.core import Event, PENDING, SimulationError, Simulator, URGENT
 
 
@@ -96,6 +97,13 @@ class Process(Event):
                 except BaseException as exc:
                     if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                         raise
+                    probe = self.sim.probe
+                    if probe.active:
+                        probe.emit(
+                            ProcessFailed(
+                                process=self.name or "process", error=repr(exc)
+                            )
+                        )
                     self.fail(exc)
                     return
 

@@ -18,6 +18,11 @@ import math
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.errors import TransportError
+from repro.obs.events import (
+    SegmentRetransmitted,
+    SegmentTimeout,
+    SessionMigrated,
+)
 from repro.sim import Event, Simulator
 from repro.transport.config import TransportConfig
 from repro.xia.dag import DagAddress
@@ -223,6 +228,11 @@ class SenderSession:
         if retransmit:
             self.retransmissions += 1
             self._send_times.pop(seq, None)  # Karn: no RTT sample on rexmit
+            probe = self.sim.probe
+            if probe.active:
+                probe.emit(
+                    SegmentRetransmitted(session=self.session_id, seq=seq)
+                )
         else:
             self._send_times[seq] = self.sim.now
         self.endpoint.host.send(packet)
@@ -310,6 +320,11 @@ class SenderSession:
 
     def _on_timeout(self) -> None:
         self.timeouts += 1
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(
+                SegmentTimeout(session=self.session_id, seq=self.head, rto=self.rto)
+            )
         self.ssthresh = max(self.inflight / 2.0, 2.0)
         self.cwnd = 1.0
         self.dup_acks = 0
@@ -360,6 +375,9 @@ class SenderSession:
         if self.done.triggered or already_here:
             return
         self.migrations += 1
+        probe = self.sim.probe
+        if probe.active:
+            probe.emit(SessionMigrated(session=self.session_id))
         self.sim.process(self._resume_after_migration())
 
     def _resume_after_migration(self):

@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.errors import CacheMiss, ChunkIntegrityError, ConfigurationError
+from repro.obs.events import CacheEvicted, CacheHit, CacheMiss as CacheMissEvent
+from repro.obs.events import CacheStored
 from repro.xcache.chunk import Chunk
 from repro.xcache.eviction import EvictionPolicy, LruEviction
 from repro.xia.ids import PrincipalType, XID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.probe import Probe
 
 
 class ContentStore:
@@ -24,6 +29,8 @@ class ContentStore:
         eviction: Optional[EvictionPolicy] = None,
         clock=None,
         verify_on_insert: bool = True,
+        probe: Optional["Probe"] = None,
+        name: str = "store",
     ) -> None:
         if capacity_bytes <= 0:
             raise ConfigurationError("capacity_bytes must be positive")
@@ -31,6 +38,10 @@ class ContentStore:
         self.eviction = eviction or LruEviction()
         self._clock = clock or (lambda: 0.0)
         self.verify_on_insert = verify_on_insert
+        #: Optional instrumentation probe (stores are not tied to a
+        #: simulator, so the wiring code passes ``sim.probe`` in).
+        self.probe = probe
+        self.name = name
         self._chunks: dict[XID, Chunk] = {}
         self._pinned: set[XID] = set()
         self.used_bytes = 0
@@ -56,10 +67,15 @@ class ContentStore:
         """Serve a chunk (counts a hit/miss; raises on miss)."""
         self._drop_expired()
         chunk = self._chunks.get(cid)
+        probe = self.probe
         if chunk is None:
             self.misses += 1
+            if probe is not None and probe.active:
+                probe.emit(CacheMissEvent(store=self.name, cid=cid.short))
             raise CacheMiss(f"chunk {cid.short} not in store")
         self.hits += 1
+        if probe is not None and probe.active:
+            probe.emit(CacheHit(store=self.name, cid=cid.short))
         self.eviction.on_access(cid, self._clock())
         return chunk
 
@@ -98,6 +114,16 @@ class ContentStore:
         self.insertions += 1
         if pin:
             self._pinned.add(chunk.cid)
+        probe = self.probe
+        if probe is not None and probe.active:
+            probe.emit(
+                CacheStored(
+                    store=self.name,
+                    cid=chunk.cid.short,
+                    size_bytes=chunk.size_bytes,
+                    pinned=pin,
+                )
+            )
         self.eviction.on_insert(chunk.cid, self._clock())
         return True
 
@@ -133,8 +159,18 @@ class ContentStore:
             victim = self.eviction.choose_victim(candidates, self._clock())
             if victim is None:
                 victim = candidates[0]
+            victim_chunk = self._chunks[victim]
             self.remove(victim)
             self.evictions += 1
+            probe = self.probe
+            if probe is not None and probe.active:
+                probe.emit(
+                    CacheEvicted(
+                        store=self.name,
+                        cid=victim.short,
+                        size_bytes=victim_chunk.size_bytes,
+                    )
+                )
         return True
 
     def _drop_expired(self) -> None:

@@ -114,3 +114,11 @@ def test_collector_report_flattens():
     report = collector.report()
     assert report["a"] == 1.0
     assert report["b.mean"] == 2.0
+
+
+def test_percentile_subnormal_values_do_not_underflow():
+    # Interpolating between two equal subnormals must not round to 0.0
+    # (regression: 5e-324 * 0.5 + 5e-324 * 0.5 underflows).
+    tiny = 5e-324
+    assert percentile([tiny, tiny], 50) == tiny
+    assert percentile([tiny, tiny, tiny], 75) == tiny

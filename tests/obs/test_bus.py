@@ -1,0 +1,148 @@
+"""Event bus semantics: subscription, ordering, the unsubscribed fast path."""
+
+import pytest
+
+from repro.obs import EventBus, Stamped
+from repro.obs.events import CacheHit, ChunkFetched, CoverageGap
+from repro.sim import Simulator
+
+
+def fetched(cid="c1"):
+    return ChunkFetched(cid=cid, latency=0.1, from_edge=True, fallback=False)
+
+
+def stamp(event, time=0.0, run="test"):
+    return Stamped(time, run, event)
+
+
+def test_topic_subscription_filters_by_type():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(ChunkFetched, seen.append)
+    bus.publish(stamp(fetched()))
+    bus.publish(stamp(CacheHit(store="s", cid="c")))
+    assert [type(s.event) for s in seen] == [ChunkFetched]
+
+
+def test_wildcard_receives_everything():
+    bus = EventBus()
+    seen = []
+    bus.subscribe_all(seen.append)
+    bus.publish(stamp(fetched()))
+    bus.publish(stamp(CoverageGap(duration=2.0)))
+    assert [type(s.event) for s in seen] == [ChunkFetched, CoverageGap]
+
+
+def test_delivery_order_topic_then_wildcard_in_subscription_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe_all(lambda s: order.append("all-1"))
+    bus.subscribe(ChunkFetched, lambda s: order.append("topic-1"))
+    bus.subscribe(ChunkFetched, lambda s: order.append("topic-2"))
+    bus.subscribe_all(lambda s: order.append("all-2"))
+    bus.publish(stamp(fetched()))
+    assert order == ["topic-1", "topic-2", "all-1", "all-2"]
+
+
+def test_unsubscribe_stops_delivery_and_clears_active():
+    bus = EventBus()
+    seen = []
+    handler = bus.subscribe(ChunkFetched, seen.append)
+    assert bus.active
+    bus.unsubscribe(ChunkFetched, handler)
+    assert not bus.active
+    bus.publish(stamp(fetched()))
+    assert seen == []
+
+
+def test_unsubscribe_all_and_clear():
+    bus = EventBus()
+    seen = []
+    handler = bus.subscribe_all(seen.append)
+    bus.unsubscribe_all(handler)
+    assert not bus.active
+
+    bus.subscribe(ChunkFetched, seen.append)
+    bus.subscribe_all(seen.append)
+    bus.clear()
+    assert not bus.active and bus.subscriber_count == 0
+
+
+def test_subscribe_rejects_non_event_topics():
+    bus = EventBus()
+    with pytest.raises(TypeError):
+        bus.subscribe(int, lambda s: None)
+
+
+def test_no_subscriber_fast_path_publishes_nothing():
+    bus = EventBus()
+    assert not bus.active
+    # publish() with no subscribers is a no-op (early return).
+    bus.publish(stamp(fetched()))
+    assert bus.subscriber_count == 0
+
+
+def test_probe_is_inert_without_subscribers():
+    sim = Simulator()
+    assert not sim.probe.active
+    sim.probe.emit(fetched())  # must not raise, must not deliver anywhere
+
+
+def test_probe_stamps_time_and_run_id():
+    sim = Simulator()
+    sim.probe.run_id = "seed42"
+    seen = []
+    sim.probe.bus.subscribe_all(seen.append)
+
+    def worker(sim):
+        yield sim.timeout(3.5)
+        sim.probe.emit(CoverageGap(duration=1.0))
+
+    sim.process(worker(sim))
+    sim.run()
+    assert len(seen) == 1
+    assert seen[0].time == 3.5
+    assert seen[0].run_id == "seed42"
+    assert seen[0].event == CoverageGap(duration=1.0)
+
+
+def test_kernel_step_hooks_observe_every_dispatch():
+    sim = Simulator()
+    steps = []
+
+    def hook(when, event):
+        steps.append(when)
+
+    sim.add_step_hook(hook)
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    sim.process(worker(sim))
+    sim.run()
+    assert steps  # init + timeouts + process completion
+    assert steps == sorted(steps)
+    sim.remove_step_hook(hook)
+    before = len(steps)
+    sim.process(worker(sim))
+    sim.run()
+    assert len(steps) == before
+
+
+def test_process_failure_is_published():
+    from repro.obs.events import ProcessFailed
+
+    sim = Simulator()
+    seen = []
+    sim.probe.bus.subscribe(ProcessFailed, seen.append)
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    process = sim.process(crasher(sim))
+    with pytest.raises(RuntimeError):
+        sim.run(until=process)
+    assert len(seen) == 1
+    assert "boom" in seen[0].event.error

@@ -1,0 +1,102 @@
+"""JSONL trace export, round-trip and offline replay."""
+
+import io
+import json
+
+from repro.obs import EventBus, Stamped, TraceExporter, read_trace, replay_trace
+from repro.obs.events import (
+    CacheStored,
+    ChunkFetched,
+    CoordinatorTick,
+    SegmentTimeout,
+)
+
+SAMPLE = [
+    Stamped(0.5, "r0", CoordinatorTick(signalled=2, decision=True, offline=False)),
+    Stamped(1.25, "r0", CacheStored(store="edge", cid="abcd", size_bytes=512, pinned=True)),
+    Stamped(2.0, "r0", SegmentTimeout(session="s1", seq=7, rto=0.375)),
+    Stamped(3.125, "r0", ChunkFetched(cid="abcd", latency=0.875, from_edge=True, fallback=False)),
+]
+
+
+def export_to_string(stampeds):
+    bus = EventBus()
+    buffer = io.StringIO()
+    exporter = TraceExporter(buffer).attach(bus)
+    for stamped in stampeds:
+        bus.publish(stamped)
+    exporter.close()
+    assert exporter.events_written == len(stampeds)
+    return buffer.getvalue()
+
+
+def test_exported_lines_are_flat_json_objects():
+    text = export_to_string(SAMPLE)
+    lines = text.strip().splitlines()
+    assert len(lines) == len(SAMPLE)
+    first = json.loads(lines[0])
+    assert first == {
+        "t": 0.5,
+        "run": "r0",
+        "type": "CoordinatorTick",
+        "signalled": 2,
+        "decision": True,
+        "offline": False,
+    }
+
+
+def test_read_trace_round_trips_events_exactly():
+    text = export_to_string(SAMPLE)
+    restored = list(read_trace(io.StringIO(text)))
+    assert restored == SAMPLE
+
+
+def test_exporter_detaches_on_close():
+    bus = EventBus()
+    exporter = TraceExporter(io.StringIO()).attach(bus)
+    bus.publish(SAMPLE[0])
+    exporter.close()
+    bus.publish(SAMPLE[1])
+    assert exporter.events_written == 1
+    assert not bus.active
+
+
+def test_exporter_owns_path_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    bus = EventBus()
+    with TraceExporter(str(path)) as exporter:
+        exporter.attach(bus)
+        for stamped in SAMPLE:
+            bus.publish(stamped)
+    assert exporter.path == str(path)
+    assert [s.event for s in read_trace(str(path))] == [s.event for s in SAMPLE]
+
+
+def test_replay_trace_rebuilds_metrics():
+    text = export_to_string(SAMPLE)
+    collector = replay_trace(io.StringIO(text))
+    report = collector.report()
+    assert report["coordinator.ticks"] == 1
+    assert report["coordinator.decisions"] == 1
+    assert report["cache.insertions"] == 1
+    assert report["cache.stored_bytes"] == 512
+    assert report["transport.timeouts"] == 1
+    assert report["transport.rto.mean"] == 0.375
+    assert report["chunks.fetched"] == 1
+    assert report["chunks.from_edge"] == 1
+    assert report["fetch.latency.mean"] == 0.875
+
+
+def test_replay_matches_live_collector_report():
+    from repro.metrics.collector import MetricsCollector
+
+    bus = EventBus()
+    live = MetricsCollector().attach(bus)
+    buffer = io.StringIO()
+    exporter = TraceExporter(buffer).attach(bus)
+    for stamped in SAMPLE:
+        bus.publish(stamped)
+    exporter.close()
+
+    replayed = replay_trace(io.StringIO(buffer.getvalue()))
+    assert replayed.report() == live.report()
