@@ -1,0 +1,39 @@
+"""Span-collection overhead on the Fig. 5 benchmark.
+
+The span layer must be cheap enough to leave on during experiments:
+running fig5 with a live ``SpanBuilder`` attached has to stay within
+10% of the uninstrumented wall-clock.  With nothing attached the bus
+is inert (``bus.active`` is False) and every emit site skips event
+construction entirely, so the uninstrumented run is the true baseline.
+"""
+
+from time import perf_counter
+
+from repro.experiments.xia_benchmark import run_all
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def test_fig5_span_overhead_within_ten_percent(benchmark):
+    # Warm up caches / imports outside the timed region.
+    run_all(seed=1)
+
+    plain = _best_of(lambda: run_all(seed=1))
+    spanned = _best_of(lambda: run_all(seed=1, spans=True))
+    overhead = spanned / plain - 1.0
+
+    def report():
+        return plain, spanned
+
+    benchmark.pedantic(report, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"fig5 plain    : {plain:.3f} s")
+    print(f"fig5 +spans   : {spanned:.3f} s  (overhead {overhead:+.1%})")
+    assert overhead <= 0.10, f"span overhead {overhead:.1%} exceeds 10%"

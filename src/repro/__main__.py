@@ -6,19 +6,26 @@ Commands:
 - ``fig5``      — the XIA substrate benchmark table;
 - ``sweep``     — one Fig. 6 panel (``--panel a..f``);
 - ``handoff``   — the §IV-D handoff-policy comparison;
-- ``traces``    — the Fig. 7 trace-driven experiment.
+- ``traces``    — the Fig. 7 trace-driven experiment;
+- ``profile``   — one profiled download (kernel hot-path table);
+- ``trace``     — JSONL trace analysis (``summary`` / ``spans`` /
+  ``chrome`` / ``diff``).
+
+``demo`` and ``sweep`` take ``--trace PATH`` to record every run into
+one multi-run JSONL trace that the ``trace`` subcommands consume.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import microbench
 from repro.experiments.handoff import PAPER_SAVING, run_comparison
 from repro.experiments.microbench import BenchProfile
 from repro.experiments.params import MicrobenchParams
-from repro.experiments.report import render_table
+from repro.experiments.report import render_breakdown, render_spans, render_table
 from repro.experiments.runner import run_download
 from repro.experiments.tracedriven import run_all as run_traces
 from repro.experiments.xia_benchmark import run_all as run_fig5
@@ -27,8 +34,19 @@ from repro.util import MB
 
 def cmd_demo(args) -> None:
     params = MicrobenchParams(file_size=int(args.file_mb * MB))
-    xftp = run_download("xftp", params=params, seed=args.seed)
-    softstage = run_download("softstage", params=params, seed=args.seed)
+    trace_fh = open(args.trace, "w", encoding="utf-8") if args.trace else None
+    try:
+        xftp = run_download(
+            "xftp", params=params, seed=args.seed,
+            trace_path=trace_fh, spans=args.spans,
+        )
+        softstage = run_download(
+            "softstage", params=params, seed=args.seed,
+            trace_path=trace_fh, spans=args.spans,
+        )
+    finally:
+        if trace_fh is not None:
+            trace_fh.close()
     print(render_table(
         f"{args.file_mb:g} MB download, Table III defaults",
         ("system", "time (s)", "Mbps", "edge chunks"),
@@ -42,6 +60,15 @@ def cmd_demo(args) -> None:
     ))
     print(f"gain: {xftp.download_time / softstage.download_time:.2f}x "
           f"(paper: ~1.77x)")
+    if args.spans:
+        for result in (xftp, softstage):
+            print()
+            print(render_spans(
+                result.spans, title=f"Spans [{result.run_id}]"
+            ))
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(runs: {xftp.run_id}, {softstage.run_id})")
 
 
 def cmd_fig5(args) -> None:
@@ -63,13 +90,34 @@ def cmd_sweep(args) -> None:
         "e": microbench.sweep_internet_bandwidth,
         "f": microbench.sweep_internet_latency,
     }
-    profile = BenchProfile(
-        file_size=int(args.file_mb * MB),
-        seeds=tuple(range(args.seeds)),
-        segment_scale=args.scale,
-    )
-    series = sweeps[args.panel](profile)
+    trace_fh = open(args.trace, "w", encoding="utf-8") if args.trace else None
+    try:
+        profile = BenchProfile(
+            file_size=int(args.file_mb * MB),
+            seeds=tuple(range(args.seeds)),
+            segment_scale=args.scale,
+            trace_sink=trace_fh,
+        )
+        series = sweeps[args.panel](profile)
+    finally:
+        if trace_fh is not None:
+            trace_fh.close()
     print(series.render())
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
+
+
+def cmd_profile(args) -> None:
+    params = MicrobenchParams(file_size=int(args.file_mb * MB))
+    result = run_download(
+        args.system, params=params, seed=args.seed, profile=True,
+    )
+    print(f"{args.system}: {result.download_time:.1f}s simulated "
+          f"({result.throughput_bps / 1e6:.1f} Mbps)")
+    print()
+    print(result.profile.render(
+        title=f"Simulator profile [{result.run_id}]", top=args.top,
+    ))
 
 
 def cmd_handoff(args) -> None:
@@ -81,6 +129,138 @@ def cmd_handoff(args) -> None:
     print(f"default: {comparison.default_time:.1f}s   "
           f"content-aware: {comparison.content_aware_time:.1f}s   "
           f"saving: {comparison.saving:.1%} (paper: {PAPER_SAVING:.1%})")
+
+
+# -- trace analysis ----------------------------------------------------------
+
+
+def _load_runs(path: str):
+    from repro.obs.analyze import load_runs
+
+    runs = load_runs(path)
+    if not runs:
+        raise SystemExit(f"{path}: trace contains no events")
+    return runs
+
+
+def _select_runs(runs, run_id):
+    if run_id is not None:
+        from repro.obs.analyze import pick_run
+
+        return [pick_run(runs, run_id)]
+    return list(runs.values())
+
+
+def cmd_trace_summary(args) -> None:
+    from repro.obs.analyze import latency_breakdown, summarize_breakdown
+
+    runs = _load_runs(args.file)
+    for run in _select_runs(runs, args.run):
+        top = run.event_counts.most_common(8)
+        counts = ", ".join(f"{name}={n}" for name, n in top)
+        print(f"run {run.run_id}: {run.events_total} events over "
+              f"[{run.first_time:.3f}s, {run.last_time:.3f}s]")
+        print(f"  top events: {counts}")
+        print()
+        print(render_spans(run.spans, title=f"Spans [{run.run_id}]"))
+        breakdown = latency_breakdown(run.spans)
+        if breakdown:
+            print()
+            print(render_breakdown(
+                summarize_breakdown(breakdown),
+                title=f"Latency breakdown [{run.run_id}]",
+            ))
+        print()
+
+
+def cmd_trace_spans(args) -> None:
+    runs = _load_runs(args.file)
+    for run in _select_runs(runs, args.run):
+        spans = run.spans
+        if args.kind:
+            spans = [s for s in spans if s.kind == args.kind]
+        rows = []
+        for span in spans[: args.limit]:
+            rows.append((
+                span.span_id,
+                span.kind,
+                span.key,
+                f"{span.start:.3f}",
+                f"{span.end:.3f}" if span.end is not None else "-",
+                f"{span.duration:.3f}" if span.duration is not None else "-",
+                span.status,
+                span.parent_id if span.parent_id is not None else "-",
+                ",".join(name for name, _ in span.phases),
+            ))
+        print(render_table(
+            f"Spans [{run.run_id}] ({len(spans)} total, "
+            f"showing {min(len(spans), args.limit)})",
+            ("id", "kind", "key", "start", "end", "dur (s)",
+             "status", "parent", "phases"),
+            rows,
+        ))
+        if args.critical:
+            from repro.obs.analyze import critical_path
+
+            segments = critical_path(run.spans)
+            print()
+            print(render_table(
+                f"Critical path [{run.run_id}]",
+                ("chunk", "from (s)", "to (s)", "blocked (s)", "phase"),
+                [(s.cid, f"{s.start:.3f}", f"{s.end:.3f}",
+                  f"{s.duration:.3f}", s.phase) for s in segments],
+            ))
+        print()
+
+
+def cmd_trace_chrome(args) -> None:
+    from repro.obs.analyze import chrome_trace
+
+    runs = _load_runs(args.file)
+    if args.run is not None:
+        selected = _select_runs(runs, args.run)
+        runs = {run.run_id: run for run in selected}
+    payload = chrome_trace(runs)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    print(f"wrote {len(payload['traceEvents'])} trace events for "
+          f"{len(runs)} run(s) to {args.output} "
+          f"(open in Perfetto or chrome://tracing)")
+
+
+def cmd_trace_diff(args) -> None:
+    from repro.obs.analyze import diff_spans, pick_run
+
+    runs_a = _load_runs(args.file_a)
+    if args.file_b:
+        runs_b = _load_runs(args.file_b)
+        run_a = pick_run(runs_a, args.run_a)
+        run_b = pick_run(runs_b, args.run_b)
+    else:
+        # Single multi-run file: diff two runs inside it.
+        ids = list(runs_a)
+        if args.run_a is None and args.run_b is None and len(ids) < 2:
+            raise SystemExit(
+                f"{args.file_a} holds a single run ({ids[0]}); "
+                f"pass a second file or --run-a/--run-b"
+            )
+        run_a = pick_run(runs_a, args.run_a or ids[0])
+        run_b = pick_run(runs_a, args.run_b or ids[1 if len(ids) > 1 else 0])
+    deltas = diff_spans(run_a.spans, run_b.spans)
+    rows = []
+    for d in deltas:
+        ratio = f"{d.ratio:.2f}x" if d.ratio is not None else "-"
+        rows.append((
+            d.kind, d.count_a, d.count_b,
+            f"{d.mean_a:.4f}", f"{d.mean_b:.4f}",
+            f"{d.delta:+.4f}", ratio,
+        ))
+    print(render_table(
+        f"Span diff: A={run_a.run_id}  B={run_b.run_id}",
+        ("kind", "count A", "count B", "mean A (s)", "mean B (s)",
+         "Δ mean (s)", "B/A"),
+        rows,
+    ))
 
 
 def cmd_traces(args) -> None:
@@ -105,6 +285,10 @@ def main(argv=None) -> int:
     demo = sub.add_parser("demo", help="SoftStage vs Xftp quick comparison")
     demo.add_argument("--file-mb", type=float, default=32.0)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--trace", metavar="PATH",
+                      help="record both runs into one JSONL trace")
+    demo.add_argument("--spans", action="store_true",
+                      help="derive and print causal span summaries")
     demo.set_defaults(fn=cmd_demo)
 
     fig5 = sub.add_parser("fig5", help="XIA substrate benchmark")
@@ -116,7 +300,50 @@ def main(argv=None) -> int:
     sweep.add_argument("--file-mb", type=float, default=32.0)
     sweep.add_argument("--seeds", type=int, default=1)
     sweep.add_argument("--scale", type=int, default=1)
+    sweep.add_argument("--trace", metavar="PATH",
+                       help="record every run into one JSONL trace")
     sweep.set_defaults(fn=cmd_sweep)
+
+    prof = sub.add_parser("profile", help="one profiled download")
+    prof.add_argument("--system", choices=("softstage", "xftp"),
+                      default="softstage")
+    prof.add_argument("--file-mb", type=float, default=8.0)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--top", type=int, default=15)
+    prof.set_defaults(fn=cmd_profile)
+
+    trace = sub.add_parser("trace", help="JSONL trace analysis")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tsummary = tsub.add_parser("summary", help="events + span statistics")
+    tsummary.add_argument("file")
+    tsummary.add_argument("--run", help="restrict to one run id")
+    tsummary.set_defaults(fn=cmd_trace_summary)
+
+    tspans = tsub.add_parser("spans", help="list derived spans")
+    tspans.add_argument("file")
+    tspans.add_argument("--run", help="restrict to one run id")
+    tspans.add_argument("--kind", choices=("chunk", "encounter", "gap", "handoff"))
+    tspans.add_argument("--limit", type=int, default=30)
+    tspans.add_argument("--critical", action="store_true",
+                        help="also print the per-download critical path")
+    tspans.set_defaults(fn=cmd_trace_spans)
+
+    tchrome = tsub.add_parser(
+        "chrome", help="export Chrome trace-event JSON (Perfetto)"
+    )
+    tchrome.add_argument("file")
+    tchrome.add_argument("-o", "--output", required=True)
+    tchrome.add_argument("--run", help="restrict to one run id")
+    tchrome.set_defaults(fn=cmd_trace_chrome)
+
+    tdiff = tsub.add_parser("diff", help="per-span-kind latency deltas")
+    tdiff.add_argument("file_a")
+    tdiff.add_argument("file_b", nargs="?",
+                       help="second trace (omit to diff runs inside file_a)")
+    tdiff.add_argument("--run-a", help="run id in the first trace")
+    tdiff.add_argument("--run-b", help="run id in the second trace")
+    tdiff.set_defaults(fn=cmd_trace_diff)
 
     handoff = sub.add_parser("handoff", help="handoff-policy comparison")
     handoff.add_argument("--file-mb", type=float, default=48.0)

@@ -75,7 +75,13 @@ class StagingTracker:
         self.signals_sent += 1
         probe = self.sim.probe
         if probe.active:
-            probe.emit(StagingSignalled(count=len(chunk_entries), label=label))
+            probe.emit(
+                StagingSignalled(
+                    count=len(chunk_entries),
+                    label=label,
+                    cids=",".join(r.cid.short for r in records),
+                )
+            )
         return len(chunk_entries)
 
     def _local_dag(self) -> DagAddress:

@@ -71,7 +71,11 @@ class StagingVNF:
         probe = self.sim.probe
         if probe.active:
             probe.emit(
-                StageRequestReceived(vnf=self.router.name, chunks=len(chunks))
+                StageRequestReceived(
+                    vnf=self.router.name,
+                    chunks=len(chunks),
+                    cids=",".join(e["cid"].short for e in chunks),
+                )
             )
         reply_to = packet.src
         for entry in chunks:

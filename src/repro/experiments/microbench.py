@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import IO, Callable, Optional, Sequence
 
 from repro.experiments.params import MicrobenchParams
 from repro.experiments.report import GainSeries
@@ -31,6 +31,10 @@ class BenchProfile:
     file_size: int = 64 * MB
     seeds: tuple[int, ...] = (0, 1, 2)
     segment_scale: int = 1
+    #: Open file object every run's JSONL trace is appended to (one
+    #: multi-run trace; run ids ``"{point}/{system}-seed{n}"`` keep
+    #: the runs apart).  ``None`` leaves runs uninstrumented.
+    trace_sink: Optional[IO[str]] = None
 
     @classmethod
     def from_env(cls) -> "BenchProfile":
@@ -52,19 +56,23 @@ def measure_point(
     params: MicrobenchParams,
     profile: BenchProfile,
     handoff_policy_factory: Optional[Callable] = None,
+    run_prefix: str = "",
 ) -> tuple[float, float]:
     """(mean Xftp time, mean SoftStage time) at one parameter point."""
     params = params.with_(file_size=profile.file_size)
+    trace = profile.trace_sink
     xftp_times, softstage_times = [], []
     for seed in profile.seeds:
         xftp = run_download(
             "xftp", params=params, seed=seed,
             segment_scale=profile.segment_scale,
+            trace_path=trace, run_id=f"{run_prefix}xftp-seed{seed}",
         )
         policy = handoff_policy_factory() if handoff_policy_factory else None
         softstage = run_download(
             "softstage", params=params, seed=seed,
             segment_scale=profile.segment_scale, handoff_policy=policy,
+            trace_path=trace, run_id=f"{run_prefix}softstage-seed{seed}",
         )
         xftp_times.append(xftp.download_time)
         softstage_times.append(softstage.download_time)
@@ -80,7 +88,10 @@ def _sweep(
     profile = profile or BenchProfile.from_env()
     series = GainSeries(title=title, parameter=parameter)
     for label, params, paper_gain in points:
-        xftp_time, softstage_time = measure_point(params, profile)
+        prefix = f"{label.replace(' ', '')}/" if profile.trace_sink else ""
+        xftp_time, softstage_time = measure_point(
+            params, profile, run_prefix=prefix
+        )
         series.add(label, xftp_time, softstage_time, paper_gain)
     return series
 

@@ -68,6 +68,33 @@ def render_metrics(
     return render_table(title, ("metric", "value"), rows)
 
 
+def render_spans(spans, title: str = "Span summary") -> str:
+    """Render a span list as the canonical per-kind summary table.
+
+    Thin wrapper over :func:`repro.obs.spans.render_summary` so
+    experiment reports and the CLI share one canonical format (the
+    one the live/offline parity tests compare byte-for-byte).
+    """
+    from repro.obs.spans import render_summary
+
+    return render_summary(spans, title=title)
+
+
+def render_breakdown(summary, title: str = "Latency breakdown") -> str:
+    """Render a :class:`repro.obs.analyze.BreakdownSummary`."""
+    rows = [
+        ("chunks delivered", summary.chunks),
+        ("from edge", summary.edge),
+        ("from origin", summary.origin),
+        ("origin fallbacks", summary.fallback),
+        ("mean stage wait (s)", summary.mean_stage_wait),
+        ("mean edge fetch (s)", summary.mean_edge_fetch),
+        ("mean origin fetch (s)", summary.mean_origin_fetch),
+        ("staging masked by disconnection (s)", summary.masked_total),
+    ]
+    return render_table(title, ("measure", "value"), rows)
+
+
 def render_table(
     title: str,
     headers: Sequence[str],

@@ -12,7 +12,7 @@ metrics report offline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import IO, Optional, Union
 
 from repro.core.client import DownloadResult
 from repro.core.handoff import HandoffPolicy
@@ -21,7 +21,9 @@ from repro.experiments.params import MicrobenchParams
 from repro.experiments.scenario import TestbedScenario
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.coverage import Coverage
+from repro.obs.spans import Span, SpanBuilder
 from repro.obs.trace import TraceExporter
+from repro.sim.profiler import SimProfiler
 
 
 @dataclass
@@ -33,10 +35,16 @@ class ExperimentResult:
     download: DownloadResult
     #: Simulated seconds to finish (or reach the deadline).
     download_time: float
+    #: The run identity stamped on every trace event of this run.
+    run_id: str = ""
     #: Bus-fed collector (only when the run was instrumented).
     metrics: Optional[MetricsCollector] = field(default=None, repr=False)
-    #: JSONL trace location (only when ``trace_path`` was given).
+    #: JSONL trace location (only when ``trace_path`` was a path).
     trace_path: Optional[str] = None
+    #: Causal spans derived live during the run (``spans=True``).
+    spans: Optional[list[Span]] = field(default=None, repr=False)
+    #: The kernel profiler, still queryable (``profile=True``).
+    profile: Optional[SimProfiler] = field(default=None, repr=False)
 
     @property
     def throughput_bps(self) -> float:
@@ -54,7 +62,10 @@ def run_download(
     num_edges: int = 2,
     segment_scale: int = 1,
     instrument: bool = False,
-    trace_path: Optional[str] = None,
+    trace_path: Optional[Union[str, IO[str]]] = None,
+    spans: bool = False,
+    profile: bool = False,
+    run_id: Optional[str] = None,
 ) -> ExperimentResult:
     """Build a fresh testbed and run one full download.
 
@@ -65,7 +76,16 @@ def run_download(
     ``instrument=True`` subscribes a :class:`MetricsCollector` to the
     run's event bus and returns it on the result; ``trace_path``
     additionally writes every event as JSONL (and implies
-    ``instrument=True``).
+    ``instrument=True``) — pass an open file object instead of a path
+    to append several runs into one multi-run trace.  ``spans=True``
+    attaches a live :class:`~repro.obs.spans.SpanBuilder` and returns
+    its finished spans; ``profile=True`` installs a
+    :class:`~repro.sim.profiler.SimProfiler` on the kernel.
+
+    Every run gets a distinct identity — ``run_id`` or the derived
+    ``"{system}-seed{seed}"`` — stamped on each trace event, so runs
+    in the same file (or from different invocations) can be told
+    apart and diffed.
     """
     from repro.transport.config import XIA_CHUNK
 
@@ -77,12 +97,20 @@ def run_download(
         with_vnf=with_vnf,
         transport_config=XIA_CHUNK.scaled(segment_scale),
     )
+    run_id = run_id or f"{system}-seed{seed}"
+    scenario.sim.probe.run_id = run_id
     collector: Optional[MetricsCollector] = None
     exporter: Optional[TraceExporter] = None
+    builder: Optional[SpanBuilder] = None
+    profiler: Optional[SimProfiler] = None
     if instrument or trace_path is not None:
         collector = MetricsCollector(scenario.sim).attach(scenario.sim.probe.bus)
         if trace_path is not None:
             exporter = TraceExporter(trace_path).attach(scenario.sim.probe.bus)
+    if spans:
+        builder = SpanBuilder(run_id=run_id).attach(scenario.sim.probe.bus)
+    if profile:
+        profiler = SimProfiler(scenario.sim).install()
     try:
         content = scenario.publish_default_content()
         if system == "softstage":
@@ -96,13 +124,18 @@ def run_download(
     finally:
         if exporter is not None:
             exporter.close()
+        if profiler is not None:
+            profiler.uninstall()
     return ExperimentResult(
         system=system,
         seed=seed,
         download=download,
         download_time=download.duration,
+        run_id=run_id,
         metrics=collector,
         trace_path=exporter.path if exporter is not None else None,
+        spans=builder.finish() if builder is not None else None,
+        profile=profiler,
     )
 
 

@@ -117,6 +117,11 @@ def _on_process_failed(c: MetricsCollector, e: ev.ProcessFailed) -> None:
     c.count("sim.process_failures")
 
 
+def _on_profiler_sample(c: MetricsCollector, e: ev.ProfilerSample) -> None:
+    c.count("sim.profiler_samples")
+    c.observe("sim.queue_depth", e.depth)
+
+
 def _on_packet_dropped(c: MetricsCollector, e: ev.PacketDropped) -> None:
     c.count(f"net.drops.{e.reason}")
 
@@ -237,6 +242,7 @@ def _on_encounter_ended(c: MetricsCollector, e: ev.EncounterEnded) -> None:
 
 _EVENT_METRICS = {
     ev.ProcessFailed: _on_process_failed,
+    ev.ProfilerSample: _on_profiler_sample,
     ev.PacketDropped: _on_packet_dropped,
     ev.LinkStateChanged: _on_link_state,
     ev.LinkRetransmission: _on_link_rexmit,

@@ -22,15 +22,21 @@ from repro.obs.probe import Probe
 from repro.obs.trace import TraceExporter, read_trace, replay_trace
 from repro.obs import events
 from repro.obs.events import EVENT_TYPES, ObsEvent
+from repro.obs.spans import Span, SpanBuilder, build_spans, render_summary, summarize_spans
 
 __all__ = [
     "EVENT_TYPES",
     "EventBus",
     "ObsEvent",
     "Probe",
+    "Span",
+    "SpanBuilder",
     "Stamped",
     "TraceExporter",
+    "build_spans",
     "events",
     "read_trace",
+    "render_summary",
     "replay_trace",
+    "summarize_spans",
 ]

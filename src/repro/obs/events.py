@@ -12,7 +12,7 @@ The taxonomy, by emitting layer:
 ========== ==========================================================
 Layer      Events
 ========== ==========================================================
-sim        :class:`ProcessFailed`
+sim        :class:`ProcessFailed`, :class:`ProfilerSample`
 net        :class:`PacketDropped`, :class:`LinkStateChanged`,
            :class:`LinkRetransmission`
 transport  :class:`SegmentTimeout`, :class:`SegmentRetransmitted`,
@@ -159,10 +159,16 @@ class CoordinatorTick(ObsEvent):
 
 @dataclass(frozen=True, slots=True)
 class StagingSignalled(ObsEvent):
-    """The tracker sent one STAGE_REQUEST batch to a VNF."""
+    """The tracker sent one STAGE_REQUEST batch to a VNF.
+
+    ``cids`` is a comma-joined list of the short chunk ids in the
+    batch (kept as one string so every field stays a JSON primitive);
+    the span layer splits it to open one lifecycle span per chunk.
+    """
 
     count: int
     label: str
+    cids: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -183,10 +189,15 @@ class StaleStagingResponse(ObsEvent):
 
 @dataclass(frozen=True, slots=True)
 class StageRequestReceived(ObsEvent):
-    """A VNF received one STAGE_REQUEST batch."""
+    """A VNF received one STAGE_REQUEST batch.
+
+    ``cids`` mirrors :class:`StagingSignalled` (comma-joined short
+    chunk ids) so per-chunk spans can mark request arrival.
+    """
 
     vnf: str
     chunks: int
+    cids: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -256,6 +267,22 @@ class EncounterEnded(ObsEvent):
     duration: float
 
 
+# -- profiler ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ProfilerSample(ObsEvent):
+    """Periodic simulator health sample (every N kernel steps).
+
+    Emitted by :class:`repro.sim.profiler.SimProfiler` when sampling
+    is enabled.  Fields are deterministic (no wall-clock values) so a
+    profiled run's trace stays replay-exact.
+    """
+
+    depth: int
+    steps: int
+
+
 #: Name -> class registry used by the JSONL trace replayer.
 EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.__name__: cls
@@ -285,5 +312,6 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
         PrestageSignalled,
         CoverageGap,
         EncounterEnded,
+        ProfilerSample,
     )
 }

@@ -15,7 +15,8 @@ order, so streaming statistics accumulate identically).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import warnings
+from dataclasses import asdict, fields
 from typing import IO, Iterator, Optional, Union
 
 from repro.obs.bus import EventBus, Stamped
@@ -70,24 +71,76 @@ class TraceExporter:
         self.close()
 
 
-def read_trace(path_or_file: Union[str, IO[str]]) -> Iterator[Stamped]:
-    """Yield :class:`Stamped` events from a JSONL trace, in file order."""
+def read_trace(
+    path_or_file: Union[str, IO[str]],
+    strict: bool = False,
+    unknown_counts: Optional[dict[str, int]] = None,
+) -> Iterator[Stamped]:
+    """Yield :class:`Stamped` events from a JSONL trace, in file order.
+
+    Traces written by a *newer* code version may contain event types
+    (or event fields) this version does not know.  By default those
+    records are skipped (unknown fields: dropped) with one
+    :func:`warnings.warn` per unknown name, so old code can still
+    replay the rest of the trace; pass ``strict=True`` to raise
+    instead.  ``unknown_counts``, if given, is a dict the reader
+    fills with ``{type_name: skipped_record_count}``.
+    """
     if hasattr(path_or_file, "read"):
         lines = path_or_file
         close = False
     else:
         lines = open(path_or_file, encoding="utf-8")
         close = True
+    warned: set[str] = set()
     try:
         for line in lines:
             line = line.strip()
             if not line:
                 continue
             record = json.loads(line)
-            cls = EVENT_TYPES[record.pop("type")]
+            type_name = record.pop("type")
+            cls = EVENT_TYPES.get(type_name)
+            if cls is None:
+                if strict:
+                    raise KeyError(f"unknown event type {type_name!r} in trace")
+                if unknown_counts is not None:
+                    unknown_counts[type_name] = unknown_counts.get(type_name, 0) + 1
+                if type_name not in warned:
+                    warned.add(type_name)
+                    warnings.warn(
+                        f"skipping unknown event type {type_name!r} "
+                        f"(trace written by a newer version?)",
+                        stacklevel=2,
+                    )
+                continue
             time = record.pop("t")
             run_id = record.pop("run")
-            yield Stamped(time, run_id, cls(**record))
+            try:
+                event = cls(**record)
+            except TypeError:
+                if strict:
+                    raise
+                known = {f.name for f in fields(cls)}
+                extra = sorted(set(record) - known)
+                key = f"{type_name}.{','.join(extra)}"
+                if key not in warned:
+                    warned.add(key)
+                    warnings.warn(
+                        f"dropping unknown field(s) {extra} on {type_name} "
+                        f"(trace written by a newer version?)",
+                        stacklevel=2,
+                    )
+                try:
+                    event = cls(**{k: v for k, v in record.items() if k in known})
+                except TypeError:
+                    # Also missing required fields: unreadable, skip it.
+                    if unknown_counts is not None:
+                        unknown_counts[type_name] = (
+                            unknown_counts.get(type_name, 0) + 1
+                        )
+                    continue
+            yield Stamped(time, run_id, event)
     finally:
         if close:
             lines.close()

@@ -31,6 +31,7 @@ from repro.sim.primitives import AllOf, AnyOf, Condition, Timeout
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RandomStreams
 from repro.sim.monitor import Monitor, TimeSeries
+from repro.sim.profiler import SimProfiler
 
 __all__ = [
     "AllOf",
@@ -43,6 +44,7 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "SimProfiler",
     "Simulator",
     "SimulationError",
     "StopSimulation",

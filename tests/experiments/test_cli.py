@@ -25,3 +25,71 @@ def test_cli_fig5_prints_table(capsys):
     assert main(["fig5"]) == 0
     out = capsys.readouterr().out
     assert "xchunkp" in out and "paper (Mbps)" in out
+
+
+def test_cli_demo_trace_and_spans(tmp_path, capsys):
+    trace = tmp_path / "demo.jsonl"
+    assert main([
+        "demo", "--file-mb", "2", "--trace", str(trace), "--spans",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Spans [xftp-seed0]" in out
+    assert "Spans [softstage-seed0]" in out
+    assert trace.exists()
+    # Both runs landed in the one file, told apart by run id.
+    from repro.obs import read_trace
+
+    run_ids = {s.run_id for s in read_trace(str(trace))}
+    assert run_ids == {"xftp-seed0", "softstage-seed0"}
+
+
+def test_cli_trace_subcommands_end_to_end(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "demo.jsonl"
+    main(["demo", "--file-mb", "2", "--trace", str(trace)])
+    capsys.readouterr()
+
+    assert main(["trace", "summary", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "run xftp-seed0" in out and "run softstage-seed0" in out
+    assert "Spans [softstage-seed0]" in out
+
+    assert main(["trace", "spans", str(trace), "--run", "softstage-seed0",
+                 "--critical"]) == 0
+    out = capsys.readouterr().out
+    assert "kind" in out and "Critical path" in out
+
+    chrome = tmp_path / "chrome.json"
+    assert main(["trace", "chrome", str(trace), "-o", str(chrome)]) == 0
+    payload = json.loads(chrome.read_text())
+    assert payload["traceEvents"]
+    complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert all("ts" in e and "dur" in e for e in complete)
+
+    # Diff the two runs inside the single multi-run file.
+    assert main(["trace", "diff", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "A=xftp-seed0" in out and "B=softstage-seed0" in out
+
+    # And the same run across two "files" (here: the same file twice).
+    assert main(["trace", "diff", str(trace), str(trace),
+                 "--run-a", "xftp-seed0", "--run-b", "softstage-seed0"]) == 0
+
+
+def test_cli_trace_summary_missing_run_errors(tmp_path, capsys):
+    import pytest
+
+    trace = tmp_path / "demo.jsonl"
+    main(["demo", "--file-mb", "2", "--trace", str(trace)])
+    capsys.readouterr()
+    with pytest.raises(ValueError, match="no-such-run"):
+        main(["trace", "summary", str(trace), "--run", "no-such-run"])
+
+
+def test_cli_profile_prints_hot_handlers(capsys):
+    assert main(["profile", "--file-mb", "2", "--system", "softstage"]) == 0
+    out = capsys.readouterr().out
+    assert "Simulator profile [softstage-seed0]" in out
+    assert "steps=" in out and "heap pushes=" in out
+    assert "process:" in out

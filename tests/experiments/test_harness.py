@@ -85,3 +85,22 @@ def test_fig5_single_point_close_to_paper():
     assert point.paper_mbps == PAPER_FIG5[("wired", "linux-tcp")]
     measured = point.throughput_bps / 1e6
     assert measured == pytest.approx(95.0, rel=0.15)
+
+
+def test_run_id_derives_from_system_and_seed_and_round_trips(tmp_path):
+    from repro.obs import read_trace
+
+    params = MicrobenchParams(file_size=2 * MB, chunk_size=1 * MB,
+                              packet_loss=0.05)
+    trace = tmp_path / "run.jsonl"
+    result = run_download("softstage", params=params, seed=7,
+                          trace_path=str(trace))
+    assert result.run_id == "softstage-seed7"
+    stamps = read_trace(str(trace))
+    assert stamps, "expected a non-empty trace"
+    # Every stamped record in the trace carries the derived run id.
+    assert {s.run_id for s in stamps} == {"softstage-seed7"}
+
+    # An explicit run_id overrides the derived one.
+    override = run_download("xftp", params=params, seed=7, run_id="custom")
+    assert override.run_id == "custom"

@@ -146,3 +146,30 @@ def test_process_failure_is_published():
         sim.run(until=process)
     assert len(seen) == 1
     assert "boom" in seen[0].event.error
+
+
+def test_uninstrumented_run_constructs_zero_event_objects(monkeypatch):
+    """With no subscribers, emit sites must not even build event objects.
+
+    Every emit site is written as ``if probe.active: probe.emit(Evt(...))``
+    so an uninstrumented run never pays for dataclass construction.  Patch
+    every event class constructor to explode; a full download must still
+    complete untouched.
+    """
+    from repro.experiments.params import MicrobenchParams
+    from repro.experiments.runner import run_download
+    from repro.obs.events import EVENT_TYPES
+    from repro.util import MB
+
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            f"{type(self).__name__} constructed during uninstrumented run"
+        )
+
+    for cls in EVENT_TYPES.values():
+        monkeypatch.setattr(cls, "__init__", boom)
+
+    params = MicrobenchParams(file_size=2 * MB, chunk_size=1 * MB,
+                              packet_loss=0.05)
+    result = run_download("softstage", params=params, seed=0)
+    assert result.download.completed

@@ -100,3 +100,69 @@ def test_replay_matches_live_collector_report():
 
     replayed = replay_trace(io.StringIO(buffer.getvalue()))
     assert replayed.report() == live.report()
+
+
+# -- forward compatibility (traces from newer code versions) -----------------
+
+
+def test_read_trace_skips_unknown_event_types_with_warning():
+    import pytest
+
+    text = (
+        '{"t":1.0,"run":"r0","type":"CacheHit","store":"s","cid":"c"}\n'
+        '{"t":2.0,"run":"r0","type":"QuantumTeleport","qubits":3}\n'
+        '{"t":3.0,"run":"r0","type":"CacheMiss","store":"s","cid":"c"}\n'
+    )
+    counts = {}
+    with pytest.warns(UserWarning, match="QuantumTeleport"):
+        restored = list(
+            read_trace(io.StringIO(text), unknown_counts=counts)
+        )
+    assert [type(s.event).__name__ for s in restored] == ["CacheHit", "CacheMiss"]
+    assert counts == {"QuantumTeleport": 1}
+
+
+def test_read_trace_strict_raises_on_unknown_type():
+    import pytest
+
+    text = '{"t":2.0,"run":"r0","type":"QuantumTeleport","qubits":3}\n'
+    with pytest.raises(KeyError, match="QuantumTeleport"):
+        list(read_trace(io.StringIO(text), strict=True))
+
+
+def test_read_trace_drops_unknown_fields_on_known_types():
+    import pytest
+
+    text = '{"t":1.0,"run":"r0","type":"CacheHit","store":"s","cid":"c","tier":2}\n'
+    with pytest.warns(UserWarning, match="tier"):
+        (restored,) = list(read_trace(io.StringIO(text)))
+    assert type(restored.event).__name__ == "CacheHit"
+    assert restored.event.store == "s"
+    with pytest.raises(TypeError):
+        list(read_trace(io.StringIO(text), strict=True))
+
+
+def test_read_trace_skips_records_missing_required_fields():
+    # A known type whose (newer) writer dropped a required field.
+    text = '{"t":1.0,"run":"r0","type":"CacheHit","store":"s","extra":1}\n'
+    counts = {}
+    import warnings as warnings_mod
+
+    with warnings_mod.catch_warnings():
+        warnings_mod.simplefilter("ignore")
+        restored = list(read_trace(io.StringIO(text), unknown_counts=counts))
+    assert restored == []
+    assert counts == {"CacheHit": 1}
+
+
+def test_replay_trace_survives_unknown_types():
+    import warnings as warnings_mod
+
+    text = (
+        '{"t":1.0,"run":"r0","type":"CacheHit","store":"s","cid":"c"}\n'
+        '{"t":2.0,"run":"r0","type":"FutureEvent","x":1}\n'
+    )
+    with warnings_mod.catch_warnings():
+        warnings_mod.simplefilter("ignore")
+        collector = replay_trace(io.StringIO(text))
+    assert collector.report()["cache.hits"] == 1
