@@ -25,11 +25,19 @@ from repro.util import MB
 
 
 def bench_profile() -> BenchProfile:
+    # REPRO_BENCH_JOBS=n fans sweep runs over n worker processes;
+    # results are byte-identical to sequential (see
+    # repro.experiments.parallel), so it composes with any profile.
+    jobs = max(int(os.environ.get("REPRO_BENCH_JOBS", "1")), 1)
     if os.environ.get("REPRO_BENCH_QUICK"):
-        return BenchProfile(file_size=16 * MB, seeds=(0,), segment_scale=2)
+        return BenchProfile(
+            file_size=16 * MB, seeds=(0,), segment_scale=2, jobs=jobs
+        )
     if os.environ.get("REPRO_BENCH_PAPER"):
-        return BenchProfile(file_size=64 * MB, seeds=(0, 1, 2), segment_scale=1)
-    return BenchProfile(file_size=32 * MB, seeds=(0, 1), segment_scale=1)
+        return BenchProfile(
+            file_size=64 * MB, seeds=(0, 1, 2), segment_scale=1, jobs=jobs
+        )
+    return BenchProfile(file_size=32 * MB, seeds=(0, 1), segment_scale=1, jobs=jobs)
 
 
 @pytest.fixture(scope="session")
@@ -37,9 +45,29 @@ def profile() -> BenchProfile:
     return bench_profile()
 
 
-def run_once(benchmark, fn):
-    """Run a harness exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+def run_once(benchmark, fn, rounds=None, warmup_rounds=None):
+    """Run a harness under pytest-benchmark timing.
+
+    Historically one shot (rounds=1, no warm-up) — right for the long
+    table-regenerating harnesses, too noisy for kernel microbenches.
+    Callers (or the environment) can opt into a shared warm-up and
+    median-of-N repeats:
+
+    - ``REPRO_BENCH_ROUNDS=n`` — repeat n times; pytest-benchmark
+      reports the median alongside min/max;
+    - ``REPRO_BENCH_WARMUP=n`` — n untimed warm-up rounds first
+      (fills allocator pools, imports, and branch caches).
+
+    Explicit arguments win over the environment.
+    """
+    if rounds is None:
+        rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "1"))
+    if warmup_rounds is None:
+        warmup_rounds = int(os.environ.get("REPRO_BENCH_WARMUP", "0"))
+    return benchmark.pedantic(
+        fn, rounds=max(rounds, 1), iterations=1,
+        warmup_rounds=max(warmup_rounds, 0),
+    )
 
 
 def strict_shapes(profile: BenchProfile) -> bool:

@@ -92,11 +92,15 @@ def cmd_sweep(args) -> None:
     }
     trace_fh = open(args.trace, "w", encoding="utf-8") if args.trace else None
     try:
+        if args.trace and args.jobs > 1:
+            print("note: --trace forces sequential execution "
+                  "(one shared trace sink)", file=sys.stderr)
         profile = BenchProfile(
             file_size=int(args.file_mb * MB),
             seeds=tuple(range(args.seeds)),
             segment_scale=args.scale,
             trace_sink=trace_fh,
+            jobs=args.jobs,
         )
         series = sweeps[args.panel](profile)
     finally:
@@ -300,6 +304,9 @@ def main(argv=None) -> int:
     sweep.add_argument("--file-mb", type=float, default=32.0)
     sweep.add_argument("--seeds", type=int, default=1)
     sweep.add_argument("--scale", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (results stay byte-identical "
+                            "to --jobs 1)")
     sweep.add_argument("--trace", metavar="PATH",
                        help="record every run into one JSONL trace")
     sweep.set_defaults(fn=cmd_sweep)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import IO, Callable, Optional, Sequence
 
 from repro.experiments.params import MicrobenchParams
@@ -35,6 +35,10 @@ class BenchProfile:
     #: multi-run trace; run ids ``"{point}/{system}-seed{n}"`` keep
     #: the runs apart).  ``None`` leaves runs uninstrumented.
     trace_sink: Optional[IO[str]] = None
+    #: Worker processes for sweeps (``1`` = sequential).  Tracing
+    #: forces the sequential path: a shared open sink cannot cross
+    #: process boundaries.
+    jobs: int = 1
 
     @classmethod
     def from_env(cls) -> "BenchProfile":
@@ -49,6 +53,9 @@ class BenchProfile:
                 seeds=tuple(range(int(seeds_override))),
                 segment_scale=profile.segment_scale,
             )
+        jobs_override = os.environ.get("REPRO_BENCH_JOBS")
+        if jobs_override:
+            profile = replace(profile, jobs=max(int(jobs_override), 1))
         return profile
 
 
@@ -86,6 +93,8 @@ def _sweep(
     profile: Optional[BenchProfile] = None,
 ) -> GainSeries:
     profile = profile or BenchProfile.from_env()
+    if profile.jobs > 1 and profile.trace_sink is None:
+        return _sweep_parallel(title, parameter, points, profile)
     series = GainSeries(title=title, parameter=parameter)
     for label, params, paper_gain in points:
         prefix = f"{label.replace(' ', '')}/" if profile.trace_sink else ""
@@ -93,6 +102,51 @@ def _sweep(
             params, profile, run_prefix=prefix
         )
         series.add(label, xftp_time, softstage_time, paper_gain)
+    return series
+
+
+def _sweep_parallel(
+    title: str,
+    parameter: str,
+    points: Sequence[tuple[str, MicrobenchParams, Optional[float]]],
+    profile: BenchProfile,
+) -> GainSeries:
+    """The same sweep, fanned over a worker pool.
+
+    Builds the whole point×seed×system run list in the exact order the
+    sequential loop would execute it, runs it through
+    :func:`repro.experiments.parallel.run_tasks` (which preserves
+    order), and aggregates per point — so the resulting series is
+    byte-identical to the sequential one.
+    """
+    from repro.experiments.parallel import SweepTask, run_tasks
+
+    tasks = []
+    for _label, params, _paper_gain in points:
+        point_params = params.with_(file_size=profile.file_size)
+        for seed in profile.seeds:
+            for system in ("xftp", "softstage"):
+                tasks.append(
+                    SweepTask(
+                        system=system,
+                        params=point_params,
+                        seed=seed,
+                        segment_scale=profile.segment_scale,
+                    )
+                )
+    summaries = iter(run_tasks(tasks, jobs=profile.jobs))
+    series = GainSeries(title=title, parameter=parameter)
+    for label, _params, paper_gain in points:
+        xftp_times, softstage_times = [], []
+        for _seed in profile.seeds:
+            xftp_times.append(next(summaries).download_time)
+            softstage_times.append(next(summaries).download_time)
+        series.add(
+            label,
+            statistics.mean(xftp_times),
+            statistics.mean(softstage_times),
+            paper_gain,
+        )
     return series
 
 

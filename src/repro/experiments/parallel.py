@@ -1,0 +1,138 @@
+"""Parallel sweep execution: fan seed×system×point runs across cores.
+
+A Fig. 6 sweep is embarrassingly parallel — every ``run_download`` is
+an isolated simulator with its own seed — so the sweep drivers hand
+their run list to :func:`run_tasks`, which fans it over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is the contract: a parallel sweep must be **byte-identical**
+to the sequential one.  Three properties deliver that:
+
+- every run is fully described by a picklable, frozen
+  :class:`SweepTask` (parameters + seed + system), and workers build
+  their simulators from scratch — no shared state;
+- :meth:`~concurrent.futures.Executor.map` yields results in task
+  order regardless of completion order, so downstream aggregation
+  sees the same sequence as a sequential loop;
+- the returned :class:`RunSummary` compares by simulation outcome
+  only — ``wall_seconds`` is measured but excluded from equality, so
+  summary comparison is exactly "did the simulation do the same
+  thing".
+
+When a worker pool cannot be set up at all (no ``fork``/``spawn``
+support, resource limits), :func:`run_tasks` degrades to an
+in-process sequential loop with identical results.  Errors *inside* a
+run are not swallowed — a deterministic failure reproduces identically
+in either mode.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.params import MicrobenchParams
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One fully-specified run: everything a worker needs, picklable."""
+
+    system: str
+    params: MicrobenchParams
+    seed: int
+    segment_scale: int = 1
+
+    def label(self) -> str:
+        return f"{self.system}-seed{self.seed}"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The picklable outcome of one run.
+
+    Carries the simulation-determined figures the sweep tables need.
+    ``wall_seconds`` is host-dependent telemetry and deliberately
+    excluded from equality — two summaries are equal iff the
+    *simulations* agreed.
+    """
+
+    system: str
+    seed: int
+    download_time: float
+    bytes_received: int
+    chunks_completed: int
+    chunks_from_edge: int
+    chunks_from_origin: int
+    fallbacks: int
+    handoffs: int
+    staging_signals: int
+    wall_seconds: float = field(compare=False, default=0.0)
+
+
+def execute_task(task: SweepTask) -> RunSummary:
+    """Run one task to completion (module-level: pool workers import it)."""
+    from repro.experiments.runner import run_download
+
+    started = time.perf_counter()
+    result = run_download(
+        task.system,
+        params=task.params,
+        seed=task.seed,
+        segment_scale=task.segment_scale,
+    )
+    download = result.download
+    return RunSummary(
+        system=task.system,
+        seed=task.seed,
+        download_time=result.download_time,
+        bytes_received=download.bytes_received,
+        chunks_completed=download.chunks_completed,
+        chunks_from_edge=download.chunks_from_edge,
+        chunks_from_origin=download.chunks_from_origin,
+        fallbacks=download.fallbacks,
+        handoffs=download.handoffs,
+        staging_signals=download.staging_signals,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_tasks(
+    tasks: Sequence[SweepTask],
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> list[RunSummary]:
+    """Execute ``tasks``, in order, on up to ``jobs`` processes.
+
+    Results always come back in task order.  ``jobs <= 1`` (or a
+    single task) runs sequentially in-process.  A pool that cannot be
+    brought up or dies from infrastructure failure (``OSError``,
+    :class:`~concurrent.futures.BrokenExecutor`) falls back to the
+    sequential path; exceptions raised *by a task* propagate in both
+    modes.
+    """
+    if jobs <= 1 or len(tasks) < 2:
+        return [execute_task(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_task, tasks, chunksize=chunksize))
+    except (OSError, BrokenExecutor):
+        # Pool infrastructure failed (fork limits, dead worker...):
+        # same results, one process.
+        return [execute_task(task) for task in tasks]
+
+
+def mean_times(
+    summaries: Iterable[RunSummary],
+) -> tuple[Optional[float], Optional[float]]:
+    """(mean xftp, mean softstage) download time over ``summaries``."""
+    xftp = [s.download_time for s in summaries if s.system == "xftp"]
+    soft = [s.download_time for s in summaries if s.system == "softstage"]
+    return (
+        statistics.mean(xftp) if xftp else None,
+        statistics.mean(soft) if soft else None,
+    )

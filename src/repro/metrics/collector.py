@@ -123,7 +123,7 @@ def _on_profiler_sample(c: MetricsCollector, e: ev.ProfilerSample) -> None:
 
 
 def _on_packet_dropped(c: MetricsCollector, e: ev.PacketDropped) -> None:
-    c.count(f"net.drops.{e.reason}")
+    c.count(f"net.drops.{e.reason}", e.count)
 
 
 def _on_link_state(c: MetricsCollector, e: ev.LinkStateChanged) -> None:

@@ -20,7 +20,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.errors import ConfigurationError
 from repro.obs.events import LinkStateChanged, PacketDropped
 from repro.sim import Simulator
-from repro.sim.core import Event
+from repro.sim.core import Event, URGENT
 from repro.net.loss import LossModel, NoLoss
 from repro.util.validation import check_non_negative, check_positive
 
@@ -89,7 +89,17 @@ class Port:
 
 
 class LinkDirection:
-    """A one-way pipe: FIFO queue + serialization + delay + loss."""
+    """A one-way pipe: FIFO queue + serialization + delay + loss.
+
+    This is the per-packet hot path: every simulated packet passes
+    through ``enqueue`` → ``_transmit`` → ``_tx_complete`` →
+    ``_deliver``.  The path is deliberately closure-free — each stage
+    is a bound method attached to a pooled kernel event (see
+    :meth:`repro.sim.core.Simulator.pooled_event`), with the in-flight
+    packet carried on the event's value (propagation) or stashed on
+    the direction (serialization, which is one-at-a-time by
+    construction), so a steady-state packet allocates nothing.
+    """
 
     def __init__(
         self,
@@ -112,22 +122,38 @@ class LinkDirection:
         self._queue: deque["Packet"] = deque()
         self._queued_bytes = 0
         self._transmitting = False
+        #: The packet being serialized and the medium grant it holds
+        #: (at most one per direction — transmission is serialized).
+        self._tx_packet: Optional["Packet"] = None
+        self._tx_grant = None
+        #: The simulator probe, cached: the per-packet emit sites pay
+        #: one attribute load + one bool check, not a chain.
+        self._probe = sim.probe
+        #: The owning Link, set by ``Link.__init__`` — lets the hot
+        #: path read ``_link._up`` directly instead of walking the
+        #: ``source.is_up`` property chain.  ``None`` for a direction
+        #: constructed standalone, which therefore counts as down
+        #: (matching ``Port.is_up`` with no link).
+        self._link: Optional["Link"] = None
         #: Optional shared-medium resource (half-duplex links set this
         #: to one Resource shared by both directions).
         self.medium = None
 
     def _drop(self, count: int, reason: str) -> None:
-        """Publish drop events (counters are updated by the caller)."""
-        probe = self.sim.probe
-        if probe.active and count:
-            name = self.source.name
-            for _ in range(count):
-                probe.emit(PacketDropped(link=name, reason=reason))
+        """Publish one batched drop event (counters update in the caller)."""
+        if count:
+            probe = self._probe
+            if probe.active:
+                probe.emit(
+                    PacketDropped(link=self.source.name, reason=reason,
+                                  count=count)
+                )
 
     # -- queueing -----------------------------------------------------------
 
     def enqueue(self, packet: "Packet") -> None:
-        if not self.source.is_up:
+        link = self._link
+        if link is None or not link._up:
             self.stats.dropped_down += 1
             self._drop(1, "down")
             return
@@ -142,11 +168,27 @@ class LinkDirection:
             self._begin_next()
 
     def clear(self) -> None:
-        """Drop everything queued (link went down)."""
-        self.stats.dropped_down += len(self._queue)
-        self._drop(len(self._queue), "down")
+        """Drop everything queued (link went down).
+
+        Counters update synchronously; the batched
+        :class:`PacketDropped` publishes on an URGENT pooled event so
+        it lands after the caller finishes mutating link state (e.g.
+        ``Link.set_up`` clears both directions, then flips ``_up`` —
+        subscribers observe the link consistently down).
+        """
+        dropped = len(self._queue)
+        if not dropped:
+            return
+        self.stats.dropped_down += dropped
         self._queue.clear()
         self._queued_bytes = 0
+        if self._probe.active:
+            flush = self.sim.pooled_event("link-down-flush")
+            flush.callbacks.append(self._emit_down_drops)
+            flush.succeed(value=dropped, priority=URGENT)
+
+    def _emit_down_drops(self, event: Event) -> None:
+        self._drop(event.value, "down")
 
     @property
     def queue_depth(self) -> int:
@@ -160,11 +202,23 @@ class LinkDirection:
         if not self._queue:
             self._transmitting = False
             return
-        if self.medium is not None:
-            request = self.medium.request()
-            request.callbacks.append(lambda event: self._transmit(request))
-        else:
+        medium = self.medium
+        if medium is None:
             self._transmit(None)
+            return
+        grant = medium.try_acquire()
+        if grant is not None:
+            # Uncontended medium: granted synchronously, no heap push.
+            self._transmit(grant)
+            return
+        request = medium.request()
+        self._tx_grant = request
+        request.callbacks.append(self._transmit_granted)
+
+    def _transmit_granted(self, event: Event) -> None:
+        grant = self._tx_grant
+        self._tx_grant = None
+        self._transmit(grant)
 
     def _transmit(self, medium_request) -> None:
         if not self._queue:
@@ -177,42 +231,52 @@ class LinkDirection:
         packet = self._queue.popleft()
         self._queued_bytes -= packet.size_bytes
         airtime = self.airtime(packet)
-        self.stats.sent_packets += 1
-        self.stats.sent_bytes += packet.size_bytes
-        self.stats.busy_time += airtime
-        done = Event(self.sim, name="tx-done")
-        done.callbacks.append(
-            lambda event: self._tx_complete(packet, medium_request)
-        )
+        stats = self.stats
+        stats.sent_packets += 1
+        stats.sent_bytes += packet.size_bytes
+        stats.busy_time += airtime
+        # Serialization is one-at-a-time, so the in-flight packet and
+        # its medium grant live on the direction itself.
+        self._tx_packet = packet
+        self._tx_grant = medium_request
+        done = self.sim.pooled_event("tx-done")
+        done.callbacks.append(self._tx_complete)
         done.succeed(delay=airtime)
 
-    def _tx_complete(self, packet: "Packet", medium_request) -> None:
+    def _tx_complete(self, event: Event) -> None:
+        packet = self._tx_packet
+        medium_request = self._tx_grant
+        self._tx_packet = None
+        self._tx_grant = None
         if medium_request is not None:
             self.medium.release(medium_request)
-        if not self.source.is_up:
+        link = self._link
+        if link is None or not link._up:
             self.stats.dropped_down += 1
             self._drop(1, "down")
         elif self.sample_loss(packet):
             self.stats.dropped_loss += 1
             self._drop(1, "loss")
         else:
-            # Propagation: one bare event delivering at the far end.
-            arrival = Event(self.sim, name="arrival")
-            arrival.callbacks.append(self._make_delivery(packet))
-            arrival.succeed(delay=self.delay)
+            # Propagation: one pooled event carrying the packet as its
+            # value, delivering at the far end (arrivals pipeline, so
+            # the packet cannot live on the direction here).
+            arrival = self.sim.pooled_event("arrival")
+            arrival.callbacks.append(self._deliver)
+            arrival.succeed(value=packet, delay=self.delay)
         self._begin_next()
 
-    def _make_delivery(self, packet: "Packet"):
-        def deliver(event: Event) -> None:
-            if not self.source.is_up:
-                self.stats.dropped_down += 1
-                self._drop(1, "down")
-                return
-            self.stats.delivered_packets += 1
-            self.stats.delivered_bytes += packet.size_bytes
-            self.sink.deliver(packet)
-
-        return deliver
+    def _deliver(self, event: Event) -> None:
+        link = self._link
+        if link is None or not link._up:
+            self.stats.dropped_down += 1
+            self._drop(1, "down")
+            return
+        packet = event.value
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
+        self.sink.deliver(packet)
 
     # -- hooks for subclasses ----------------------------------------------------
 
@@ -266,6 +330,8 @@ class Link:
             queue_bytes=queue_bytes,
             **direction_kwargs,
         )
+        self.forward._link = self
+        self.backward._link = self
         self.port_a.link = self
         self.port_a._out = self.forward
         self.port_a.peer = self.port_b

@@ -20,10 +20,16 @@ from repro.net.processing import ProcessingModel
 from repro.sim import Simulator
 
 
-def _trace_enabled() -> bool:
-    from repro.xia import packet as packet_module
+_packet_module = None
 
-    return packet_module.TRACE_PACKETS
+
+def _trace_enabled() -> bool:
+    # Lazy (circular import) but cached: this runs once per received
+    # packet, so the import machinery must not.
+    global _packet_module
+    if _packet_module is None:
+        from repro.xia import packet as _packet_module  # noqa: PLW0603
+    return _packet_module.TRACE_PACKETS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xia.ids import XID
@@ -65,15 +71,15 @@ class Device:
         self.received_packets += 1
         delay = self.processing.admit()
         if delay > 0:
-            from repro.sim.core import Event
-
-            ready = Event(self.sim, name="cpu")
-            ready.callbacks.append(
-                lambda event: self.handle_packet(packet, port)
-            )
-            ready.succeed(delay=delay)
+            ready = self.sim.pooled_event("cpu")
+            ready.callbacks.append(self._packet_ready)
+            ready.succeed(value=(packet, port), delay=delay)
         else:
             self.handle_packet(packet, port)
+
+    def _packet_ready(self, event) -> None:
+        packet, port = event.value
+        self.handle_packet(packet, port)
 
     def handle_packet(self, packet: "Packet", port: Port) -> None:
         """Override: what to do with a received packet."""

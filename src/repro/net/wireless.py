@@ -66,7 +66,7 @@ class WirelessDirection(LinkDirection):
         retries = attempts - 1
         self.retransmissions += retries
         if retries:
-            probe = self.sim.probe
+            probe = self._probe
             if probe.active:
                 probe.emit(
                     LinkRetransmission(link=self.source.name, retries=retries)

@@ -56,15 +56,22 @@ class ProcessFailed(ObsEvent):
 
 @dataclass(frozen=True, slots=True)
 class PacketDropped(ObsEvent):
-    """A link direction dropped a packet.
+    """A link direction dropped ``count`` packets for one reason.
 
     ``reason`` is one of ``"loss"`` (channel loss, including wireless
     residual loss after ARQ), ``"queue"`` (tail drop) or ``"down"``
     (link taken down with the packet queued or in flight).
+
+    ``count`` batches same-reason drops that happen at one instant
+    (e.g. a link going down flushing its whole queue) into a single
+    event instead of one per packet.  Traces written before the field
+    existed carry implicit single-packet drops — the default keeps
+    them loading unchanged.
     """
 
     link: str
     reason: str
+    count: int = 1
 
 
 @dataclass(frozen=True, slots=True)

@@ -18,6 +18,10 @@ from repro.obs.probe import Probe
 URGENT = 0
 NORMAL = 1
 
+#: Lazily bound Timeout class (resolved on first ``Simulator.timeout``;
+#: a module-level import would be circular).
+_Timeout = None
+
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
@@ -43,7 +47,10 @@ class Event:
     event itself.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_processed", "name")
+    __slots__ = (
+        "sim", "callbacks", "_value", "_ok", "_scheduled", "_processed",
+        "_pooled", "name",
+    )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -52,6 +59,10 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._processed = False
+        #: True for events from :meth:`Simulator.pooled_event`: the
+        #: kernel recycles them onto the free list after their
+        #: callbacks run.
+        self._pooled = False
         self.name = name
 
     # -- state ---------------------------------------------------------
@@ -82,16 +93,36 @@ class Event:
 
     # -- triggering ----------------------------------------------------
 
-    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        """Schedule the event to fire successfully after ``delay``."""
+    def succeed(
+        self, value: Any = None, delay: float = 0.0, priority: int = NORMAL
+    ) -> "Event":
+        """Schedule the event to fire successfully after ``delay``.
+
+        ``priority`` orders same-timestamp events (``URGENT`` runs
+        before ``NORMAL``), mirroring :meth:`Simulator.schedule`.
+        """
         if self._value is not PENDING:
             raise SimulationError(f"event {self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim.schedule(self, delay=delay)
+        # Inlined Simulator.schedule (one call frame per event matters
+        # on the packet path — keep the two in sync).
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if self._scheduled:
+            raise SimulationError(f"event {self!r} already scheduled")
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heapq.heappush(sim._queue, (sim._now + delay, priority, sim._seq, self))
         return self
 
-    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+    def fail(
+        self,
+        exception: BaseException,
+        delay: float = 0.0,
+        priority: int = NORMAL,
+    ) -> "Event":
         """Schedule the event to fire as a failure carrying ``exception``."""
         if self._value is not PENDING:
             raise SimulationError(f"event {self!r} already triggered")
@@ -99,7 +130,15 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.sim.schedule(self, delay=delay)
+        # Inlined Simulator.schedule — see succeed().
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if self._scheduled:
+            raise SimulationError(f"event {self!r} already scheduled")
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heapq.heappush(sim._queue, (sim._now + delay, priority, sim._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -146,6 +185,15 @@ class Simulator:
         #: the kernel wall-clocks every step's callback batch.  Costs
         #: one ``is None`` check per step when off.
         self._profiler = None
+        #: Free list for fire-and-forget events (see :meth:`pooled_event`).
+        self._event_pool: list[Event] = []
+        #: Pool telemetry: acquisitions served from the free list vs.
+        #: fresh allocations (read by the profiler and the benches).
+        self.pool_reuses = 0
+        self.pool_allocs = 0
+        #: Total events popped and processed (heap-op counter; the
+        #: push-side twin is :attr:`heap_pushes`).
+        self.steps_processed = 0
 
     @property
     def now(self) -> float:
@@ -192,7 +240,12 @@ class Simulator:
         return self._seq
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event.
+
+        This is the single-step (debugger/test) entry point; the hot
+        path is the manually inlined copy of this body in :meth:`run`.
+        Keep the two in sync.
+        """
         if not self._queue:
             raise SimulationError("no scheduled events")
         when, _priority, _seq, event = heapq.heappop(self._queue)
@@ -214,6 +267,18 @@ class Simulator:
             profiler.record_step(
                 event, perf_counter() - started, len(self._queue)
             )
+        self.steps_processed += 1
+        if event._pooled:
+            self._recycle(event)
+
+    def _recycle(self, event: Event) -> None:
+        """Reset a processed pooled event and return it to the free list."""
+        event._value = PENDING
+        event._ok = None
+        event._scheduled = False
+        event._processed = False
+        event.callbacks = []
+        self._event_pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, a timestamp, or an event fires.
@@ -235,11 +300,49 @@ class Simulator:
                     f"until ({stop_at}) must not be in the past (now={self._now})"
                 )
 
+        # The kernel hot loop: step() inlined, with the queue, pool and
+        # heappop bound to locals.  A million-event run spends most of
+        # its wall-clock right here, so the per-step overhead beyond
+        # the callbacks themselves must stay at a handful of opcodes.
+        queue = self._queue
+        pool = self._event_pool
+        heappop = heapq.heappop
+        steps = 0
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                when, _priority, _seq, event = heappop(queue)
+                self._now = when
+                if self._step_hooks:
+                    for hook in self._step_hooks:
+                        hook(when, event)
+                callbacks = event.callbacks
+                event.callbacks = None  # marks the event as being processed
+                event._processed = True
+                profiler = self._profiler
+                if profiler is None:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    started = perf_counter()
+                    for callback in callbacks:
+                        callback(event)
+                    profiler.record_step(
+                        event, perf_counter() - started, len(queue)
+                    )
+                steps += 1
+                if event._pooled:
+                    event._value = PENDING
+                    event._ok = None
+                    event._scheduled = False
+                    event._processed = False
+                    event.callbacks = []
+                    pool.append(event)
         except StopSimulation as stop:
+            steps += 1  # the step whose callback stopped the run did run
             return stop.value
+        finally:
+            if steps:
+                self.steps_processed += steps
         if stop_is_timestamp:
             self._now = stop_at
         if isinstance(until, Event) and not until.triggered:
@@ -252,11 +355,36 @@ class Simulator:
         """Create a fresh untriggered event."""
         return Event(self, name=name)
 
+    def pooled_event(self, name: str = "") -> Event:
+        """An :class:`Event` drawn from the kernel free list.
+
+        Pooled events are for **fire-and-forget** dispatch: trigger
+        one with callbacks attached and let it go.  The kernel resets
+        and reuses the object right after its callbacks run, so
+        holding a reference past processing — yielding it from a
+        process, storing it, chaining it into AnyOf/AllOf — is
+        undefined behaviour.  The hot packet path (``tx-done``,
+        ``arrival``, ``cpu``, process bootstrap) runs entirely on
+        pooled events, making a steady-state simulation allocation-free
+        per event.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.name = name
+            self.pool_reuses += 1
+            return event
+        event = Event(self, name=name)
+        event._pooled = True
+        self.pool_allocs += 1
+        return event
+
     def timeout(self, delay: float, value: Any = None) -> "Event":
         """An event that fires ``delay`` seconds from now."""
-        from repro.sim.primitives import Timeout
-
-        return Timeout(self, delay, value=value)
+        global _Timeout
+        if _Timeout is None:
+            from repro.sim.primitives import Timeout as _Timeout  # noqa: PLW0603
+        return _Timeout(self, delay, value=value)
 
     def process(self, generator) -> "Event":
         """Start ``generator`` as a process; returns its Process event."""

@@ -37,12 +37,11 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
         self._target: Optional[Event] = None
-        # Kick the process off via an immediate initialization event.
-        init = Event(sim, name="process-init")
+        # Kick the process off via an immediate initialization event —
+        # pooled and fire-and-forget, nobody else ever sees it.
+        init = sim.pooled_event("process-init")
         init.callbacks.append(self._resume)
-        init._ok = True
-        init._value = None
-        sim.schedule(init, priority=URGENT)
+        init.succeed(priority=URGENT)
 
     @property
     def is_alive(self) -> bool:
@@ -60,11 +59,9 @@ class Process(Event):
             raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
         if self.sim.active_process is self:
             raise SimulationError("a process cannot interrupt itself")
-        interrupt_event = Event(self.sim, name="interrupt")
-        interrupt_event._ok = False
-        interrupt_event._value = Interrupt(cause)
-        interrupt_event.callbacks = [self._resume_interrupt]
-        self.sim.schedule(interrupt_event, priority=URGENT)
+        interrupt_event = self.sim.pooled_event("interrupt")
+        interrupt_event.callbacks.append(self._resume_interrupt)
+        interrupt_event.fail(Interrupt(cause), priority=URGENT)
 
     # -- internal --------------------------------------------------------
 

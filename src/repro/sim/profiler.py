@@ -64,6 +64,8 @@ class SimProfiler:
         self._depth_sum = 0
         self._by_key: dict[str, list] = {}  # key -> [total_s, calls]
         self._pushes_at_install = 0
+        self._pool_reuses_at_install = 0
+        self._pool_allocs_at_install = 0
         self._installed = False
 
     # -- wiring ------------------------------------------------------------
@@ -73,6 +75,8 @@ class SimProfiler:
             raise RuntimeError("another profiler is already installed")
         self.sim._profiler = self
         self._pushes_at_install = self.sim.heap_pushes
+        self._pool_reuses_at_install = self.sim.pool_reuses
+        self._pool_allocs_at_install = self.sim.pool_allocs
         self._installed = True
         return self
 
@@ -126,6 +130,22 @@ class SimProfiler:
     def mean_depth(self) -> float:
         return self._depth_sum / self.steps if self.steps else 0.0
 
+    @property
+    def pool_reuses(self) -> int:
+        """Pooled-event acquisitions served allocation-free since install."""
+        return self.sim.pool_reuses - self._pool_reuses_at_install
+
+    @property
+    def pool_allocs(self) -> int:
+        """Pooled-event acquisitions that had to allocate since install."""
+        return self.sim.pool_allocs - self._pool_allocs_at_install
+
+    @property
+    def pool_reuse_rate(self) -> float:
+        """Fraction of pooled-event acquisitions served from the free list."""
+        total = self.pool_reuses + self.pool_allocs
+        return self.pool_reuses / total if total else 0.0
+
     def stats(self) -> list[HandlerStats]:
         """Per-key stats, most expensive first (ties by key name)."""
         rows = [
@@ -143,6 +163,9 @@ class SimProfiler:
             "heap_pops": self.heap_pops,
             "queue_depth_max": self.max_depth,
             "queue_depth_mean": self.mean_depth,
+            "pool_reuses": self.pool_reuses,
+            "pool_allocs": self.pool_allocs,
+            "pool_reuse_rate": self.pool_reuse_rate,
         }
         for row in self.stats():
             out[f"wall.{row.key}.total_s"] = row.total_s
@@ -164,6 +187,8 @@ class SimProfiler:
             f"steps={self.steps}  heap pushes={self.heap_pushes}  "
             f"pops={self.heap_pops}  queue depth mean={self.mean_depth:.1f} "
             f"max={self.max_depth}",
+            f"event pool: {self.pool_reuses} reused / {self.pool_allocs} "
+            f"allocated ({self.pool_reuse_rate:.1%} allocation-free)",
             rule,
             header,
             rule,

@@ -1,0 +1,130 @@
+"""Tests for the parallel sweep engine (determinism is the contract)."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.experiments import microbench, parallel
+from repro.experiments.microbench import BenchProfile
+from repro.experiments.parallel import (
+    RunSummary,
+    SweepTask,
+    execute_task,
+    run_tasks,
+)
+from repro.experiments.params import MicrobenchParams
+from repro.util import MB
+
+#: Small enough to run in seconds, real enough to exercise the stack.
+QUICK = BenchProfile(file_size=MB, seeds=(0, 1), segment_scale=8)
+
+
+def quick_task(system="softstage", seed=0):
+    return SweepTask(
+        system=system,
+        params=MicrobenchParams(file_size=QUICK.file_size),
+        seed=seed,
+        segment_scale=QUICK.segment_scale,
+    )
+
+
+def test_run_summary_equality_ignores_wall_clock():
+    a = RunSummary("softstage", 0, 9.5, 1 * MB, 4, 3, 1, 0, 2, 2,
+                   wall_seconds=0.8)
+    b = RunSummary("softstage", 0, 9.5, 1 * MB, 4, 3, 1, 0, 2, 2,
+                   wall_seconds=99.0)
+    assert a == b
+
+
+def test_execute_task_is_deterministic():
+    first = execute_task(quick_task())
+    second = execute_task(quick_task())
+    assert first == second
+    assert first.bytes_received == MB
+
+
+def test_parallel_matches_sequential_in_order():
+    tasks = [
+        quick_task(system, seed)
+        for seed in (0, 1)
+        for system in ("xftp", "softstage")
+    ]
+    sequential = run_tasks(tasks, jobs=1)
+    parallel_results = run_tasks(tasks, jobs=4)
+    assert parallel_results == sequential
+    assert [s.system for s in parallel_results] == [t.system for t in tasks]
+    assert [s.seed for s in parallel_results] == [t.seed for t in tasks]
+
+
+def test_sweep_jobs_produces_byte_identical_series():
+    """Satellite acceptance: --jobs 4 == sequential, bytes and all."""
+    sequential = microbench.sweep_encounter_time(QUICK)
+    fanned = microbench.sweep_encounter_time(
+        BenchProfile(
+            file_size=QUICK.file_size,
+            seeds=QUICK.seeds,
+            segment_scale=QUICK.segment_scale,
+            jobs=4,
+        )
+    )
+    assert fanned == sequential
+    assert fanned.render() == sequential.render()
+
+
+def test_broken_pool_falls_back_to_sequential(monkeypatch):
+    """Pool-infrastructure failure degrades gracefully, same results."""
+
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            raise OSError("no processes for you")
+
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", ExplodingPool)
+    tasks = [quick_task(seed=0), quick_task(seed=1)]
+    assert run_tasks(tasks, jobs=4) == [execute_task(t) for t in tasks]
+
+
+def test_broken_executor_mid_flight_falls_back(monkeypatch):
+    class DyingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            return False
+
+        def map(self, fn, tasks, chunksize=1):
+            raise concurrent.futures.BrokenExecutor("worker died")
+
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", DyingPool)
+    tasks = [quick_task(seed=0), quick_task(seed=1)]
+    assert run_tasks(tasks, jobs=2) == [execute_task(t) for t in tasks]
+
+
+def test_task_errors_propagate_not_swallowed():
+    bad = SweepTask(
+        system="no-such-system",
+        params=MicrobenchParams(file_size=MB),
+        seed=0,
+        segment_scale=8,
+    )
+    with pytest.raises(Exception, match="no-such-system"):
+        run_tasks([bad, bad], jobs=1)
+
+
+def test_single_task_and_jobs_one_skip_the_pool(monkeypatch):
+    def forbidden(*args, **kwargs):
+        raise AssertionError("pool must not be constructed")
+
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", forbidden)
+    assert run_tasks([quick_task()], jobs=8)[0].bytes_received == MB
+    two = [quick_task(seed=0), quick_task(seed=1)]
+    assert len(run_tasks(two, jobs=1)) == 2
+
+
+def test_profile_from_env_reads_jobs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+    assert BenchProfile.from_env().jobs == 3
+    monkeypatch.delenv("REPRO_BENCH_JOBS")
+    assert BenchProfile.from_env().jobs == 1

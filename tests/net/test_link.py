@@ -190,3 +190,68 @@ def test_processing_model_queues_work():
     assert free.admit() == 0.0
     assert free.max_packet_rate == float("inf")
     assert model.max_packet_rate == pytest.approx(1000.0)
+
+
+def test_link_down_emits_one_batched_drop_event():
+    """clear() publishes a single PacketDropped carrying the count."""
+    from repro.obs.events import PacketDropped
+
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(1), delay=ms(50))
+    sim, a, b = make_pair(link)
+    drops = []
+    sim.probe.bus.subscribe(PacketDropped, lambda s: drops.append(s.event))
+    for seq in range(6):
+        a.send(packet_to(b, seq=seq))
+
+    def take_down(sim):
+        yield sim.timeout(0.001)
+        link.set_up(False)
+
+    sim.process(take_down(sim))
+    sim.run()
+    queued = link.forward.stats.dropped_down
+    assert queued >= 4  # most of the burst was still queued
+    down_events = [e for e in drops if e.reason == "down" and e.count > 1]
+    assert len(down_events) == 1  # one batch, not one event per packet
+    assert sum(e.count for e in drops if e.reason == "down") == (
+        link.forward.stats.dropped_down
+    )
+
+
+def test_single_drops_keep_count_one():
+    from repro.obs.events import PacketDropped
+
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(100), delay=ms(1),
+                queue_bytes=1500)
+    sim, a, b = make_pair(link)
+    drops = []
+    sim.probe.bus.subscribe(PacketDropped, lambda s: drops.append(s.event))
+    for seq in range(5):
+        a.send(packet_to(b, size=1000, seq=seq))
+    sim.run()
+    assert link.forward.stats.dropped_queue >= 1
+    assert all(e.count == 1 for e in drops if e.reason == "queue")
+
+
+def test_down_link_delivery_counts_match_metrics_collector():
+    """The batched event and the per-reason counters agree end to end."""
+    from repro.metrics.collector import MetricsCollector
+
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=mbps(1), delay=ms(50))
+    sim, a, b = make_pair(link)
+    collector = MetricsCollector(sim).attach(sim.probe.bus)
+    for seq in range(6):
+        a.send(packet_to(b, seq=seq))
+
+    def take_down(sim):
+        yield sim.timeout(0.001)
+        link.set_up(False)
+
+    sim.process(take_down(sim))
+    sim.run()
+    total_down = (link.forward.stats.dropped_down
+                  + link.backward.stats.dropped_down)
+    assert collector.counters["net.drops.down"] == total_down

@@ -166,3 +166,18 @@ def test_replay_trace_survives_unknown_types():
         warnings_mod.simplefilter("ignore")
         collector = replay_trace(io.StringIO(text))
     assert collector.report()["cache.hits"] == 1
+
+
+def test_pre_count_packet_dropped_traces_still_load():
+    """Traces written before PacketDropped.count default to one drop."""
+    old_line = '{"t":1.0,"run":"legacy","type":"PacketDropped","link":"l","reason":"loss"}\n'
+    (restored,) = list(read_trace(io.StringIO(old_line)))
+    assert restored.event.count == 1
+    collector = replay_trace(io.StringIO(old_line * 3))
+    assert collector.counters["net.drops.loss"] == 3
+
+
+def test_batched_packet_dropped_replays_full_count():
+    line = '{"t":1.0,"run":"r","type":"PacketDropped","link":"l","reason":"down","count":7}\n'
+    collector = replay_trace(io.StringIO(line))
+    assert collector.counters["net.drops.down"] == 7

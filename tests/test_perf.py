@@ -1,0 +1,90 @@
+"""Tests for the persistent perf trajectory (repro.perf)."""
+
+import json
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def bench_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_record_appends_entries_with_fingerprint(bench_dir):
+    perf.record("kernel", {"events_per_sec": 100.0}, label="first")
+    perf.record("kernel", {"events_per_sec": 120.0}, label="second")
+    entries = perf.load("kernel")["entries"]
+    assert [e["label"] for e in entries] == ["first", "second"]
+    assert all(e["machine"] == perf.fingerprint() for e in entries)
+    on_disk = json.loads((bench_dir / "BENCH_kernel.json").read_text())
+    assert on_disk["kind"] == "kernel"
+    assert len(on_disk["entries"]) == 2
+
+
+def test_history_is_trimmed_to_limit(bench_dir):
+    for index in range(perf.HISTORY_LIMIT + 7):
+        perf.record("kernel", {"m": float(index)})
+    entries = perf.load("kernel")["entries"]
+    assert len(entries) == perf.HISTORY_LIMIT
+    # Oldest entries fall off the front.
+    assert entries[-1]["metrics"]["m"] == float(perf.HISTORY_LIMIT + 6)
+
+
+def test_baseline_modes():
+    perf.record("kernel", {"m": 10.0})
+    perf.record("kernel", {"m": 30.0})
+    perf.record("kernel", {"m": 20.0})
+    assert perf.baseline("kernel", "m", mode="max") == 30.0
+    assert perf.baseline("kernel", "m", mode="min") == 10.0
+    assert perf.baseline("kernel", "m", mode="latest") == 20.0
+    assert perf.baseline("kernel", "missing") is None
+    assert perf.baseline("sweep", "m") is None  # no such file yet
+
+
+def test_baseline_filters_other_machines(bench_dir):
+    alien = {"kind": "kernel", "entries": [{
+        "label": "other-box", "recorded_at": "2026-01-01T00:00:00",
+        "machine": "plan9-mips-cpu128-py9.9", "metrics": {"m": 999.0},
+    }]}
+    (bench_dir / "BENCH_kernel.json").write_text(json.dumps(alien))
+    assert perf.baseline("kernel", "m", same_machine=True) is None
+    assert perf.baseline("kernel", "m", same_machine=False) == 999.0
+
+
+def test_check_regression_passes_without_baseline():
+    ok, base = perf.check_regression("kernel", "events_per_sec", 1.0)
+    assert ok and base is None
+
+
+def test_check_regression_higher_is_better():
+    perf.record("kernel", {"events_per_sec": 1000.0})
+    ok, base = perf.check_regression(
+        "kernel", "events_per_sec", 800.0, allowed_drop=0.30
+    )
+    assert ok and base == 1000.0
+    ok, _ = perf.check_regression(
+        "kernel", "events_per_sec", 600.0, allowed_drop=0.30
+    )
+    assert not ok
+
+
+def test_check_regression_lower_is_better():
+    perf.record("kernel", {"pushes": 2.0})
+    ok, base = perf.check_regression(
+        "kernel", "pushes", 2.05, allowed_drop=0.05, higher_is_better=False
+    )
+    assert ok and base == 2.0
+    ok, _ = perf.check_regression(
+        "kernel", "pushes", 2.2, allowed_drop=0.05, higher_is_better=False
+    )
+    assert not ok
+
+
+def test_fingerprint_shape():
+    parts = perf.fingerprint().split("-")
+    assert len(parts) == 4
+    assert parts[2].startswith("cpu")
+    assert parts[3].startswith("py")
