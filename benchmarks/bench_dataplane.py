@@ -1,0 +1,260 @@
+"""XIA data-plane microbench: packets/sec through a multi-hop staging path.
+
+Floods DATA packets both ways through the evaluation's forwarding
+chain — ``client == edge router == core router == origin router ==
+server``, the edge carrying an XCache exactly like a staging edge
+network — so every packet pays the full per-hop cost of the XIA data
+plane: DAG candidate walk, visited-set update, principal dispatch and
+forwarding-table lookup.  The kernel and link layer were taken to
+their event floor in the previous round (``bench_kernel_hotpath``);
+what this bench moves is the cost *inside* ``XIARouter.handle_packet``.
+
+A second measurement runs one small full-stack SoftStage download with
+the kernel profiler installed and reports its wall-clock plus the
+forwarding-decision-cache hit rate (0 on pre-fast-path builds).
+
+Runs two ways:
+
+- ``pytest benchmarks/bench_dataplane.py`` — under pytest-benchmark
+  with the shared warm-up/median policy from ``conftest.run_once``;
+- ``PYTHONPATH=src python -m benchmarks.bench_dataplane`` — the
+  standalone driver CI uses: repeats the measurement, takes medians,
+  appends them to ``BENCH_dataplane.json`` via :mod:`repro.perf`, and
+  with ``--check`` fails on a regression against the recorded
+  baseline (packets/sec: same-machine entries only, 30% tolerance;
+  steps/packet: machine-independent, 5% tolerance).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from time import perf_counter
+
+from repro.net import Host, Link, Network
+from repro.net.link import Port
+from repro.sim import Simulator
+from repro.util import mbps, ms
+from repro.xia import CID, DagAddress, HID, NID
+from repro.xia.packet import Packet, PacketType
+from repro.xia.router import XIARouter
+
+PACKET_BYTES = 1500
+DEFAULT_PACKETS = 10_000  # per direction
+
+
+class _Sink(Host):
+    """Counts DATA packets; no processing cost, no closures."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name, HID(name))
+        self.count = 0
+        self.register_handler(PacketType.DATA, self._on_data)
+
+    def _on_data(self, packet, port):
+        self.count += 1
+
+
+class _EdgeStore:
+    """A content store holding *other* chunks: every CID candidate at
+    the edge pays the store lookup and misses, as during staging."""
+
+    def has(self, cid):
+        return False
+
+    def peek(self, cid):
+        return None
+
+
+def _build():
+    """client == edge == core == origin == server, all wired."""
+    sim = Simulator()
+    net = Network(sim)
+    client = net.add_device(_Sink(sim, "client"))
+    server = net.add_device(_Sink(sim, "server"))
+    routers = {}
+    for name in ("edge", "core", "origin"):
+        router = net.add_device(
+            XIARouter(sim, name, HID(name), NID(f"{name}-net"))
+        )
+        net.register_network(router.nid, router)
+        routers[name] = router
+
+    def wire(a, b, label):
+        queue = float(4 * DEFAULT_PACKETS * PACKET_BYTES)
+        net.connect(a, b, Link(sim, label, bandwidth_bps=mbps(10_000),
+                               delay=ms(1), queue_bytes=queue))
+
+    wire(client, routers["edge"], "client-edge")
+    wire(routers["edge"], routers["core"], "edge-core")
+    wire(routers["core"], routers["origin"], "core-origin")
+    wire(routers["origin"], server, "origin-server")
+    net.build_static_routes()
+    # The staging edge runs an XCache: CID candidates are checked
+    # against the store on the way through (and miss).
+    routers["edge"].content_store = _EdgeStore()
+    routers["edge"].cid_request_handler = lambda packet, port: None
+    return sim, net, client, server, routers
+
+
+def pump(packets: int = DEFAULT_PACKETS) -> dict:
+    """Flood ``packets`` DATA frames each way along the chain.
+
+    Upstream packets carry the staging shape ``CID | NID : HID``
+    (origin fallback), downstream packets the host shape ``NID : HID``
+    — the two DAGs every SoftStage transfer routes on.  Delivery
+    requires three full ``handle_packet`` walks per packet.
+    """
+    sim, net, client, server, routers = _build()
+    cid = CID(b"dataplane-bench-chunk")
+    up_dst = DagAddress.content(cid, routers["origin"].nid, server.hid)
+    up_src = DagAddress.host(client.hid, routers["edge"].nid)
+    down_dst = DagAddress.host(client.hid, routers["edge"].nid)
+    down_src = DagAddress.host(server.hid, routers["origin"].nid)
+    for seq in range(packets):
+        client.send(Packet(PacketType.DATA, dst=up_dst, src=up_src,
+                           size_bytes=PACKET_BYTES, seq=seq, payload={}))
+        server.send(Packet(PacketType.DATA, dst=down_dst, src=down_src,
+                           size_bytes=PACKET_BYTES, seq=seq, payload={}))
+    started = perf_counter()
+    sim.run()
+    wall = perf_counter() - started
+    delivered = client.count + server.count
+    forwarded = sum(r.forwarded_packets for r in routers.values())
+    steps = getattr(sim, "steps_processed", None) or sim.heap_pushes
+    hits = getattr(sim, "fwd_cache_hits", 0)
+    misses = getattr(sim, "fwd_cache_misses", 0)
+    return {
+        "packets": packets,
+        "delivered": delivered,
+        "forwarded": forwarded,
+        "wall_s": wall,
+        "steps": steps,
+        "packets_per_sec": delivered / wall if wall > 0 else 0.0,
+        "steps_per_packet": steps / delivered if delivered else 0.0,
+        "fwd_cache_hits": hits,
+        "fwd_cache_misses": misses,
+        "fwd_cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
+def staging_download(file_mb: float = 4.0) -> dict:
+    """One profiled full-stack SoftStage download (multi-hop staging)."""
+    from repro.experiments.params import MicrobenchParams
+    from repro.experiments.runner import run_download
+    from repro.util import MB
+
+    params = MicrobenchParams(file_size=int(file_mb * MB))
+    started = perf_counter()
+    result = run_download("softstage", params=params, seed=0, profile=True)
+    wall = perf_counter() - started
+    report = result.profile.report()
+    return {
+        "download_wall_s": wall,
+        "download_time_s": result.download_time,
+        "fwd_cache_hit_rate": float(report.get("fwd_cache_hit_rate", 0.0)),
+        "packet_pool_reuse_rate": float(
+            report.get("packet_pool_reuse_rate", 0.0)
+        ),
+    }
+
+
+def measure(packets: int = DEFAULT_PACKETS, rounds: int = 3,
+            download_mb: float = 4.0) -> dict:
+    """Warm up once, repeat ``rounds`` times, return median metrics."""
+    pump(max(packets // 10, 100))  # warm-up
+    samples = [pump(packets) for _ in range(rounds)]
+
+    def med(key):
+        return statistics.median(s[key] for s in samples)
+
+    download = staging_download(download_mb)
+    return {
+        "packets": packets,
+        "rounds": rounds,
+        "pump.packets_per_sec": med("packets_per_sec"),
+        "pump.steps_per_packet": med("steps_per_packet"),
+        "pump.fwd_cache_hit_rate": med("fwd_cache_hit_rate"),
+        "download_wall_s": download["download_wall_s"],
+        "download.fwd_cache_hit_rate": download["fwd_cache_hit_rate"],
+        "download.packet_pool_reuse_rate": download["packet_pool_reuse_rate"],
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_dataplane_pump(benchmark):
+    from benchmarks.conftest import run_once
+
+    result = run_once(benchmark, lambda: pump(5_000), warmup_rounds=1)
+    assert result["delivered"] == 10_000
+    print()
+    print(f"dataplane: {result['packets_per_sec']:,.0f} packets/s, "
+          f"{result['steps_per_packet']:.2f} steps/packet, "
+          f"cache hit rate {result['fwd_cache_hit_rate']:.1%}")
+
+
+# -- standalone driver (CI perf smoke) ---------------------------------------
+
+
+def main(argv=None) -> int:
+    from repro import perf
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--packets", type=int, default=DEFAULT_PACKETS)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--download-mb", type=float, default=4.0)
+    parser.add_argument("--label", default="")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure and print only")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression vs the recorded baseline")
+    args = parser.parse_args(argv)
+
+    metrics = measure(args.packets, args.rounds, args.download_mb)
+    for key in sorted(metrics):
+        value = metrics[key]
+        print(f"{key:>32} = {value:,.2f}" if isinstance(value, float)
+              else f"{key:>32} = {value}")
+
+    failures = []
+    if args.check:
+        # Deterministic metric: any machine's entries count.
+        ok, base = perf.check_regression(
+            "dataplane", "pump.steps_per_packet",
+            metrics["pump.steps_per_packet"], allowed_drop=0.05,
+            same_machine=False, higher_is_better=False,
+        )
+        if not ok:
+            failures.append(
+                f"pump.steps_per_packet: {metrics['pump.steps_per_packet']:.3f}"
+                f" vs baseline {base:.3f}"
+            )
+        # Wall-clock metric: same-machine entries only, 30% tolerance.
+        ok, base = perf.check_regression(
+            "dataplane", "pump.packets_per_sec",
+            metrics["pump.packets_per_sec"], allowed_drop=0.30,
+            same_machine=True, higher_is_better=True,
+        )
+        if not ok:
+            failures.append(
+                f"pump.packets_per_sec: {metrics['pump.packets_per_sec']:,.0f}"
+                f" is >30% below baseline {base:,.0f}"
+            )
+
+    if not args.no_record:
+        perf.record("dataplane", metrics, label=args.label)
+        print(f"\nrecorded to {perf.bench_path('dataplane')}")
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,3 +43,7 @@ class VnfUnavailable(StagingError):
 
 class TraceFormatError(ReproError):
     """A connectivity/mobility trace file is malformed."""
+
+
+class PacketLifecycleError(ReproError):
+    """A recycled packet was touched after release (see xia.packet)."""

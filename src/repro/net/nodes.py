@@ -19,18 +19,6 @@ from repro.net.link import Port
 from repro.net.processing import ProcessingModel
 from repro.sim import Simulator
 
-
-_packet_module = None
-
-
-def _trace_enabled() -> bool:
-    # Lazy (circular import) but cached: this runs once per received
-    # packet, so the import machinery must not.
-    global _packet_module
-    if _packet_module is None:
-        from repro.xia import packet as _packet_module  # noqa: PLW0603
-    return _packet_module.TRACE_PACKETS
-
 if TYPE_CHECKING:  # pragma: no cover
     from repro.xia.ids import XID
     from repro.xia.packet import Packet, PacketType
@@ -168,8 +156,9 @@ class Host(Device):
 
     def handle_packet(self, packet: "Packet", port: Port) -> None:
         packet.hop_count += 1
-        if _trace_enabled():
-            packet.trace.append(self.name)
+        trace = packet.trace
+        if trace is not None:
+            trace.append(self.name)
         if not self._addressed_to_me(packet):
             self.dropped_misaddressed += 1
             return

@@ -191,6 +191,11 @@ class Simulator:
         #: fresh allocations (read by the profiler and the benches).
         self.pool_reuses = 0
         self.pool_allocs = 0
+        #: Forwarding-decision cache telemetry, incremented by every
+        #: :class:`repro.xia.router.XIARouter` driven by this simulator
+        #: (read by the profiler and the benches).
+        self.fwd_cache_hits = 0
+        self.fwd_cache_misses = 0
         #: Total events popped and processed (heap-op counter; the
         #: push-side twin is :attr:`heap_pushes`).
         self.steps_processed = 0

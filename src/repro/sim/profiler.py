@@ -32,6 +32,7 @@ from typing import Optional
 from repro.obs.events import ProfilerSample
 from repro.sim.core import Event, Simulator
 from repro.sim.process import Process
+from repro.xia import packet as packet_mod
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,10 @@ class SimProfiler:
         self._pushes_at_install = 0
         self._pool_reuses_at_install = 0
         self._pool_allocs_at_install = 0
+        self._fwd_hits_at_install = 0
+        self._fwd_misses_at_install = 0
+        self._pkt_reuses_at_install = 0
+        self._pkt_allocs_at_install = 0
         self._installed = False
 
     # -- wiring ------------------------------------------------------------
@@ -77,6 +82,12 @@ class SimProfiler:
         self._pushes_at_install = self.sim.heap_pushes
         self._pool_reuses_at_install = self.sim.pool_reuses
         self._pool_allocs_at_install = self.sim.pool_allocs
+        self._fwd_hits_at_install = self.sim.fwd_cache_hits
+        self._fwd_misses_at_install = self.sim.fwd_cache_misses
+        # The packet free list is module-wide (unlike the per-simulator
+        # event pool), so the snapshot isolates this run's share.
+        self._pkt_reuses_at_install = packet_mod.pool_reuses
+        self._pkt_allocs_at_install = packet_mod.pool_allocs
         self._installed = True
         return self
 
@@ -146,6 +157,38 @@ class SimProfiler:
         total = self.pool_reuses + self.pool_allocs
         return self.pool_reuses / total if total else 0.0
 
+    @property
+    def fwd_cache_hits(self) -> int:
+        """Forwarding decisions replayed from a router cache since install."""
+        return self.sim.fwd_cache_hits - self._fwd_hits_at_install
+
+    @property
+    def fwd_cache_misses(self) -> int:
+        """Forwarding decisions compiled (cache misses) since install."""
+        return self.sim.fwd_cache_misses - self._fwd_misses_at_install
+
+    @property
+    def fwd_cache_hit_rate(self) -> float:
+        """Fraction of per-hop forwarding decisions served from cache."""
+        total = self.fwd_cache_hits + self.fwd_cache_misses
+        return self.fwd_cache_hits / total if total else 0.0
+
+    @property
+    def packet_pool_reuses(self) -> int:
+        """Packet acquisitions served from the free list since install."""
+        return packet_mod.pool_reuses - self._pkt_reuses_at_install
+
+    @property
+    def packet_pool_allocs(self) -> int:
+        """Packet acquisitions that had to allocate since install."""
+        return packet_mod.pool_allocs - self._pkt_allocs_at_install
+
+    @property
+    def packet_pool_reuse_rate(self) -> float:
+        """Fraction of packet acquisitions served allocation-free."""
+        total = self.packet_pool_reuses + self.packet_pool_allocs
+        return self.packet_pool_reuses / total if total else 0.0
+
     def stats(self) -> list[HandlerStats]:
         """Per-key stats, most expensive first (ties by key name)."""
         rows = [
@@ -166,6 +209,12 @@ class SimProfiler:
             "pool_reuses": self.pool_reuses,
             "pool_allocs": self.pool_allocs,
             "pool_reuse_rate": self.pool_reuse_rate,
+            "fwd_cache_hits": self.fwd_cache_hits,
+            "fwd_cache_misses": self.fwd_cache_misses,
+            "fwd_cache_hit_rate": self.fwd_cache_hit_rate,
+            "packet_pool_reuses": self.packet_pool_reuses,
+            "packet_pool_allocs": self.packet_pool_allocs,
+            "packet_pool_reuse_rate": self.packet_pool_reuse_rate,
         }
         for row in self.stats():
             out[f"wall.{row.key}.total_s"] = row.total_s
@@ -189,6 +238,12 @@ class SimProfiler:
             f"max={self.max_depth}",
             f"event pool: {self.pool_reuses} reused / {self.pool_allocs} "
             f"allocated ({self.pool_reuse_rate:.1%} allocation-free)",
+            f"packet pool: {self.packet_pool_reuses} reused / "
+            f"{self.packet_pool_allocs} allocated "
+            f"({self.packet_pool_reuse_rate:.1%} allocation-free)",
+            f"forwarding cache: {self.fwd_cache_hits} hits / "
+            f"{self.fwd_cache_misses} misses "
+            f"({self.fwd_cache_hit_rate:.1%} hit rate)",
             rule,
             header,
             rule,

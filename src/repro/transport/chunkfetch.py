@@ -149,7 +149,7 @@ class ChunkFetcher:
         if local_dag is None:
             nid = getattr(host, "nid", None) or getattr(host, "current_nid", None)
             local_dag = DagAddress.host(host.hid, nid)
-        request = Packet(
+        request = Packet.acquire(
             PacketType.CHUNK_REQUEST,
             dst=address,
             src=local_dag,
@@ -197,10 +197,14 @@ class CacheDaemon:
             self.node.register_handler(PacketType.CHUNK_REQUEST, self.handle_request)
 
     def handle_request(self, packet: Packet, port: "Port") -> None:
+        # Terminal consumer of the request packet on every branch; the
+        # sender session keeps the client's DAG (a shared immutable
+        # object), never the packet.
         cid = packet.dst.intent
         chunk = self.store.peek(cid)
         if chunk is None:
             self.requests_missed += 1
+            packet.release()
             return
         self.store.get(cid)  # count the hit / refresh recency
         session_id = int(packet.payload["session"])
@@ -225,6 +229,7 @@ class CacheDaemon:
             self.requests_served += 1
             if self.unpin_on_serve:
                 self.store.unpin(cid)
+        packet.release()
 
     def _local_dag(self) -> DagAddress:
         return DagAddress.host(self.node.hid, self.nid)

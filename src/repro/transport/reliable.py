@@ -215,7 +215,7 @@ class SenderSession:
             payload = self._full_payload
         else:
             payload = dict(self._full_payload, payload_bytes=payload_bytes)
-        packet = Packet(
+        packet = Packet.acquire(
             PacketType.DATA,
             dst=self.dst,
             src=self.src,
@@ -240,10 +240,14 @@ class SenderSession:
     # -- incoming packets -----------------------------------------------------
 
     def on_packet(self, packet: Packet, port: "Port") -> None:
+        # This handler is each packet's terminal consumer: nothing
+        # retains the object afterwards, so it goes back to the pool.
         if packet.ptype is PacketType.ACK:
             self._on_ack(packet)
+            packet.release()
         elif packet.ptype is PacketType.MIGRATE:
             self._on_migrate(packet)
+            packet.release()
 
     def _on_ack(self, packet: Packet) -> None:
         if self.done.triggered:
@@ -362,7 +366,7 @@ class SenderSession:
         new_dag = packet.payload["new_dag"]
         already_here = new_dag == self.dst
         self.dst = new_dag
-        ack = Packet(
+        ack = Packet.acquire(
             PacketType.MIGRATE_ACK,
             dst=new_dag,
             src=self.src,
@@ -439,12 +443,17 @@ class ReceiverSession:
     # -- incoming ----------------------------------------------------------
 
     def on_packet(self, packet: Packet, port: "Port") -> None:
+        # Terminal consumer: _on_data copies what it keeps (the meta
+        # dict) or keeps shared immutable objects (the peer DAG), so
+        # the packet itself recycles here.
         if packet.ptype is PacketType.DATA:
             self._on_data(packet)
+            packet.release()
         elif packet.ptype is PacketType.MIGRATE_ACK:
             # handled by the pending migrate() process via this event
             if self._migrate_acked is not None and not self._migrate_acked.triggered:
                 self._migrate_acked.succeed()
+            packet.release()
 
     _migrate_acked: Optional[Event] = None
 
@@ -486,7 +495,7 @@ class ReceiverSession:
         if self.peer_dag is None:
             return
         self._since_ack = 0
-        ack = Packet(
+        ack = Packet.acquire(
             PacketType.ACK,
             dst=self.peer_dag,
             src=self._local_dag(),
@@ -512,7 +521,7 @@ class ReceiverSession:
         attempts = 0
         while not self._migrate_acked.triggered and attempts < self.config.request_retries:
             attempts += 1
-            packet = Packet(
+            packet = Packet.acquire(
                 PacketType.MIGRATE,
                 dst=self.peer_dag,
                 src=new_local_dag,

@@ -43,10 +43,100 @@ class DagNode:
         return f"<DagNode {self.xid!r} route={self.route_index} pos={self.position}>"
 
 
+class DagPlan:
+    """A :class:`DagAddress` compiled for the forwarding fast path.
+
+    Routers walk the same tiny DAG for every packet of a flow, so the
+    plan assigns each distinct node a bit index once and memoizes the
+    candidate walk per visited *bitmask*: after the first packet with a
+    given mask, ``candidates(mask)`` is a single dict lookup instead of
+    a per-route scan with set membership tests.  Plans are compiled
+    lazily (first use) and cached on the address itself — addresses are
+    immutable, so a plan can never go stale.
+    """
+
+    __slots__ = ("address", "bit_of", "node_order", "full_mask",
+                 "_candidates_by_mask")
+
+    def __init__(self, address: "DagAddress") -> None:
+        self.address = address
+        bit_of: dict[XID, int] = {}
+        order: list[XID] = []
+        for route in address.routes:
+            for waypoint in route:
+                if waypoint not in bit_of:
+                    bit_of[waypoint] = 1 << len(order)
+                    order.append(waypoint)
+        if address.intent not in bit_of:
+            bit_of[address.intent] = 1 << len(order)
+            order.append(address.intent)
+        #: XID -> its bit in a visited mask.
+        self.bit_of = bit_of
+        #: Nodes in bit order (bit ``1 << i`` is ``node_order[i]``).
+        self.node_order = tuple(order)
+        #: Mask with every node bit set.
+        self.full_mask = (1 << len(order)) - 1
+        self._candidates_by_mask: dict[int, tuple[XID, ...]] = {}
+
+    def mask_of(self, visited: Iterable[XID]) -> int:
+        """The bitmask for an iterable of visited XIDs.
+
+        XIDs outside the DAG are ignored: they can never match a
+        waypoint during the candidate walk, so they cannot change the
+        forwarding decision.
+        """
+        mask = 0
+        bit_of = self.bit_of
+        for xid in visited:
+            bit = bit_of.get(xid)
+            if bit:
+                mask |= bit
+        return mask
+
+    def visited_xids(self, mask: int) -> frozenset:
+        """The set of DAG nodes a visited mask stands for."""
+        bit_of = self.bit_of
+        return frozenset(x for x in self.node_order if bit_of[x] & mask)
+
+    def candidates(self, mask: int) -> tuple[XID, ...]:
+        """Priority-ordered forwarding candidates for a visited mask.
+
+        Memoized: the walk runs once per distinct mask over the life
+        of the plan, then becomes a table lookup.
+        """
+        cached = self._candidates_by_mask.get(mask)
+        if cached is None:
+            cached = self._candidates_by_mask[mask] = self._walk(mask)
+        return cached
+
+    def _walk(self, mask: int) -> tuple[XID, ...]:
+        address = self.address
+        bit_of = self.bit_of
+        candidates: list[XID] = []
+        seen = 0
+        for route in address.routes:
+            candidate = address.intent
+            for waypoint in route:
+                if not (bit_of[waypoint] & mask):
+                    candidate = waypoint
+                    break
+            bit = bit_of[candidate]
+            if not (seen & bit):
+                seen |= bit
+                candidates.append(candidate)
+        return tuple(candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DagPlan nodes={len(self.node_order)} "
+            f"masks={len(self._candidates_by_mask)} for {self.address!r}>"
+        )
+
+
 class DagAddress:
     """An XIA DAG address: an intent plus prioritized fallback routes."""
 
-    __slots__ = ("intent", "routes", "_hash")
+    __slots__ = ("intent", "routes", "_hash", "_plan")
 
     def __init__(
         self,
@@ -67,6 +157,7 @@ class DagAddress:
         object.__setattr__(self, "intent", intent)
         object.__setattr__(self, "routes", normalized)
         object.__setattr__(self, "_hash", hash((intent, normalized)))
+        object.__setattr__(self, "_plan", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("DagAddress is immutable")
@@ -150,6 +241,15 @@ class DagAddress:
 
     # -- forwarding support ---------------------------------------------------
 
+    @property
+    def plan(self) -> DagPlan:
+        """The compiled traversal plan (built on first access)."""
+        plan = self._plan
+        if plan is None:
+            plan = DagPlan(self)
+            object.__setattr__(self, "_plan", plan)
+        return plan
+
     def next_candidates(self, visited: Set[XID] = frozenset()) -> list[XID]:
         """XIDs a router should try, in priority order.
 
@@ -157,19 +257,13 @@ class DagAddress:
         waypoint not yet *visited*; once all of a route's waypoints are
         visited the candidate is the intent itself.  Duplicates are
         dropped, keeping the highest priority occurrence.
+
+        This is the set-based shim over :attr:`plan`; the per-hop path
+        works on visited bitmasks via :meth:`DagPlan.candidates`.
         """
-        candidates: list[XID] = []
-        seen: set[XID] = set()
-        for route in self.routes:
-            candidate = self.intent
-            for waypoint in route:
-                if waypoint not in visited:
-                    candidate = waypoint
-                    break
-            if candidate not in seen:
-                seen.add(candidate)
-                candidates.append(candidate)
-        return candidates
+        plan = self.plan
+        mask = plan.mask_of(visited) if visited else 0
+        return list(plan.candidates(mask))
 
     # -- text codec -------------------------------------------------------------
 

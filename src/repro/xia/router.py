@@ -9,6 +9,15 @@ here, and an SID is a locally-registered service (e.g. the Staging
 VNF).  Candidates that cannot be acted on fall through to the next —
 this is XIA's fallback semantics, and is what lets a CID request reach
 the origin server when no cache on the path holds the chunk.
+
+The per-hop walk is cached: for a given (destination DAG, visited
+bitmask) pair a router always reaches the same terminal action, so
+:class:`XIARouter` compiles the walk once into a *decision* and replays
+it on every later packet of the flow (see DESIGN.md §10).  The only
+data-dependent step — does the local XCache hold this CID right now? —
+is kept out of the cached part and re-checked per packet.  Decisions
+are invalidated whenever anything they were compiled from changes:
+route table edits, service registration, and store/handler attachment.
 """
 
 from __future__ import annotations
@@ -16,10 +25,10 @@ from __future__ import annotations
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
-from repro.net.nodes import _trace_enabled
 from repro.net.link import Port
 from repro.net.nodes import Host
 from repro.xia.ids import PrincipalType, XID
+from repro.xia.packet import PacketType
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.processing import ProcessingModel
@@ -29,35 +38,89 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ForwardingEngine:
-    """Route tables for one router, keyed by principal type."""
+    """The route table for one router.
+
+    One dict keyed by XID serves every routable principal type (the
+    XID value embeds its type, so NIDs and HIDs cannot collide); the
+    old per-principal ``nid_routes``/``hid_routes`` attributes remain
+    as read-only filtered views.  Every mutation fires :attr:`on_change`
+    so the owning router can invalidate its forwarding-decision cache.
+    """
 
     def __init__(self) -> None:
-        self.nid_routes: dict[XID, Port] = {}
-        self.hid_routes: dict[XID, Port] = {}
-        self.default_port: Optional[Port] = None
+        self.routes: dict[XID, Port] = {}
+        self._default_port: Optional[Port] = None
+        #: Called after any mutation (route add/remove, default port).
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        callback = self.on_change
+        if callback is not None:
+            callback()
 
     def set_nid_route(self, nid: XID, port: Port) -> None:
         self._expect(nid, PrincipalType.NID)
-        self.nid_routes[nid] = port
+        self.routes[nid] = port
+        self._changed()
 
     def set_hid_route(self, hid: XID, port: Port) -> None:
         self._expect(hid, PrincipalType.HID)
-        self.hid_routes[hid] = port
+        self.routes[hid] = port
+        self._changed()
 
     def remove_hid_route(self, hid: XID) -> None:
-        self.hid_routes.pop(hid, None)
+        if self.routes.pop(hid, None) is not None:
+            self._changed()
+
+    @property
+    def default_port(self) -> Optional[Port]:
+        return self._default_port
+
+    @default_port.setter
+    def default_port(self, port: Optional[Port]) -> None:
+        self._default_port = port
+        self._changed()
 
     def port_for(self, xid: XID) -> Optional[Port]:
-        if xid.principal_type is PrincipalType.NID:
-            return self.nid_routes.get(xid, self.default_port)
-        if xid.principal_type is PrincipalType.HID:
-            return self.hid_routes.get(xid)
-        return None
+        port = self.routes.get(xid)
+        if port is None and xid.principal_type is PrincipalType.NID:
+            return self._default_port
+        return port
+
+    # -- compatibility views -------------------------------------------------
+
+    @property
+    def nid_routes(self) -> dict[XID, Port]:
+        """Snapshot of the NID entries (read-only compatibility view)."""
+        return {
+            xid: port for xid, port in self.routes.items()
+            if xid.principal_type is PrincipalType.NID
+        }
+
+    @property
+    def hid_routes(self) -> dict[XID, Port]:
+        """Snapshot of the HID entries (read-only compatibility view)."""
+        return {
+            xid: port for xid, port in self.routes.items()
+            if xid.principal_type is PrincipalType.HID
+        }
 
     @staticmethod
     def _expect(xid: XID, principal_type: PrincipalType) -> None:
         if xid.principal_type is not principal_type:
             raise ConfigurationError(f"expected {principal_type.value}, got {xid!r}")
+
+
+# Decision kinds (terminal actions of the candidate walk).
+_FORWARD = 0   # arg: egress Port
+_LOCAL = 1     # arg: own-HID visited bit
+_SID = 2       # arg: the SID whose handler takes the packet
+_DROP = 3      # arg: None
+
+#: Decisions per router before the cache is cleared wholesale.  A
+#: router sees a handful of flows × a handful of masks each; the cap
+#: only guards against adversarial DAG churn.
+DECISION_CACHE_LIMIT = 4096
 
 
 class XIARouter(Host):
@@ -83,13 +146,43 @@ class XIARouter(Host):
             raise ConfigurationError(f"router NID expected, got {nid!r}")
         self.nid = nid
         self.engine = ForwardingEngine()
-        self.content_store = content_store
-        #: Handler for CID requests that hit the local store.
-        self.cid_request_handler: Optional[Callable[["Packet", Port], None]] = None
+        self.engine.on_change = self._invalidate_decisions
+        self._content_store: Optional["ContentStore"] = content_store
+        self._cid_request_handler: Optional[
+            Callable[["Packet", Port], None]
+        ] = None
         #: Locally registered services (SID -> handler), e.g. Staging VNF.
         self.services: dict[XID, Callable[["Packet", Port], None]] = {}
+        #: (dst DAG, visited mask) -> compiled terminal decision.
+        self._decisions: dict[tuple, tuple] = {}
         self.forwarded_packets = 0
         self.dropped_unroutable = 0
+
+    # -- decision cache ------------------------------------------------------
+
+    def _invalidate_decisions(self) -> None:
+        self._decisions.clear()
+
+    @property
+    def content_store(self) -> Optional["ContentStore"]:
+        return self._content_store
+
+    @content_store.setter
+    def content_store(self, store: Optional["ContentStore"]) -> None:
+        # Attaching/removing a store changes whether CID candidates are
+        # checked at all, which is baked into compiled decisions.
+        self._content_store = store
+        self._decisions.clear()
+
+    @property
+    def cid_request_handler(self):
+        """Handler for CID requests that hit the local store."""
+        return self._cid_request_handler
+
+    @cid_request_handler.setter
+    def cid_request_handler(self, handler) -> None:
+        self._cid_request_handler = handler
+        self._decisions.clear()
 
     # -- service registry ---------------------------------------------------
 
@@ -99,6 +192,7 @@ class XIARouter(Host):
         if sid.principal_type is not PrincipalType.SID:
             raise ConfigurationError(f"expected a SID, got {sid!r}")
         self.services[sid] = handler
+        self._decisions.clear()
 
     # -- sending (locally originated packets) -----------------------------------
 
@@ -119,9 +213,14 @@ class XIARouter(Host):
         out.send(packet)
 
     def _route(self, packet: "Packet") -> Optional[Port]:
-        if self.nid in packet.dst.next_candidates(packet.visited):
-            packet.mark_visited(self.nid)
-        for candidate in packet.dst.next_candidates(packet.visited):
+        plan = packet.dst.plan
+        mask = packet.visited_mask
+        candidates = plan.candidates(mask)
+        if self.nid in candidates:
+            mask |= plan.bit_of[self.nid]
+            packet.visited_mask = mask
+            candidates = plan.candidates(mask)
+        for candidate in candidates:
             principal = candidate.principal_type
             if principal in (PrincipalType.HID, PrincipalType.NID):
                 if candidate == self.hid:
@@ -135,55 +234,90 @@ class XIARouter(Host):
 
     def handle_packet(self, packet: "Packet", port: Port) -> None:
         packet.hop_count += 1
-        if _trace_enabled():
-            packet.trace.append(self.name)
-        # Entering this router means entering its network.
-        if self.nid in packet.dst.next_candidates(packet.visited):
-            packet.mark_visited(self.nid)
+        trace = packet.trace
+        if trace is not None:
+            trace.append(self.name)
 
-        for candidate in packet.dst.next_candidates(packet.visited):
+        dst = packet.dst
+        mask = packet.visited_mask
+        key = (dst, mask)
+        decision = self._decisions.get(key)
+        if decision is None:
+            self.sim.fwd_cache_misses += 1
+            decision = self._compile_decision(dst, mask)
+            if len(self._decisions) >= DECISION_CACHE_LIMIT:
+                self._decisions.clear()
+            self._decisions[key] = decision
+        else:
+            self.sim.fwd_cache_hits += 1
+
+        kind, pre_mask, arg, cid_steps = decision
+        if pre_mask:
+            packet.visited_mask = mask | pre_mask
+        if cid_steps is not None and packet.ptype is PacketType.CHUNK_REQUEST:
+            # The one data-dependent step: is the chunk here *now*?
+            store = self._content_store
+            for cid, bit in cid_steps:
+                if store.has(cid):
+                    packet.visited_mask |= bit
+                    self._cid_request_handler(packet, port)
+                    return
+        if kind == _FORWARD:
+            self.forwarded_packets += 1
+            arg.send(packet)
+        elif kind == _LOCAL:
+            packet.visited_mask |= arg
+            self._deliver_local(packet, port)
+        elif kind == _SID:
+            self.services[arg](packet, port)
+        else:
+            self.dropped_unroutable += 1
+
+    def _compile_decision(self, dst, mask: int) -> tuple:
+        """Run the candidate walk once and record its terminal action.
+
+        Mirrors the historical per-packet loop exactly: entering this
+        router marks its NID visited when the NID is a live candidate;
+        then candidates are tried in priority order — CID candidates
+        become re-checked *steps* (their store lookup cannot be
+        cached), the first actionable SID/HID/NID candidate becomes the
+        terminal.  CID candidates at lower priority than the terminal
+        are unreachable and are not recorded.
+        """
+        plan = dst.plan
+        bit_of = plan.bit_of
+        pre_mask = 0
+        if self.nid in plan.candidates(mask):
+            pre_mask = bit_of[self.nid]
+            mask |= pre_mask
+        cid_steps: list[tuple[XID, int]] = []
+        check_cids = (
+            self._content_store is not None
+            and self._cid_request_handler is not None
+        )
+        steps = None
+        for candidate in plan.candidates(mask):
             principal = candidate.principal_type
             if principal is PrincipalType.CID:
-                if self._try_serve_cid(candidate, packet, port):
-                    return
+                if check_cids:
+                    cid_steps.append((candidate, bit_of[candidate]))
+                    steps = tuple(cid_steps)
             elif principal is PrincipalType.SID:
-                handler = self.services.get(candidate)
-                if handler is not None:
-                    handler(packet, port)
-                    return
+                if candidate in self.services:
+                    return (_SID, pre_mask, candidate, steps)
             elif principal is PrincipalType.HID:
                 if candidate == self.hid:
-                    packet.mark_visited(candidate)
-                    self._deliver_local(packet, port)
-                    return
+                    return (_LOCAL, pre_mask, bit_of[candidate], steps)
                 out = self.engine.port_for(candidate)
                 if out is not None:
-                    self._forward(packet, out)
-                    return
+                    return (_FORWARD, pre_mask, out, steps)
             elif principal is PrincipalType.NID:
-                # Our own NID was marked visited above; anything else
-                # routes toward that network (or the default).
+                # Our own NID was folded into pre_mask above; anything
+                # else routes toward that network (or the default).
                 out = self.engine.port_for(candidate)
                 if out is not None:
-                    self._forward(packet, out)
-                    return
-        self.dropped_unroutable += 1
-
-    def _try_serve_cid(self, cid: XID, packet: "Packet", port: Port) -> bool:
-        if self.content_store is None or self.cid_request_handler is None:
-            return False
-        from repro.xia.packet import PacketType
-
-        # Only *requests* are answered from the cache; transport data
-        # packets of an ongoing chunk transfer carry session ids and are
-        # routed to their endpoints by HID.
-        if packet.ptype is not PacketType.CHUNK_REQUEST:
-            return False
-        if not self.content_store.has(cid):
-            return False
-        packet.mark_visited(cid)
-        self.cid_request_handler(packet, port)
-        return True
+                    return (_FORWARD, pre_mask, out, steps)
+        return (_DROP, pre_mask, None, steps)
 
     def _deliver_local(self, packet: "Packet", port: Port) -> None:
         """The packet is addressed to this router itself."""
@@ -197,10 +331,6 @@ class XIARouter(Host):
             handler(packet, port)
             return
         self.dropped_unhandled += 1
-
-    def _forward(self, packet: "Packet", out: Port) -> None:
-        self.forwarded_packets += 1
-        out.send(packet)
 
 
 class AccessPoint(Host):
@@ -217,8 +347,9 @@ class AccessPoint(Host):
         self.bridged_packets = 0
 
     def handle_packet(self, packet: "Packet", port: Port) -> None:
-        if _trace_enabled():
-            packet.trace.append(self.name)
+        trace = packet.trace
+        if trace is not None:
+            trace.append(self.name)
         for other in self.ports:
             if other is not port:
                 if other.is_up:
