@@ -211,6 +211,9 @@ def main(argv=None) -> int:
                         help="measure and print only")
     parser.add_argument("--check", action="store_true",
                         help="fail on regression vs the recorded baseline")
+    parser.add_argument("--registry", action="store_true",
+                        help="also append the medians to the run registry "
+                             "(.repro_runs, or REPRO_RUNS_DIR)")
     args = parser.parse_args(argv)
 
     metrics = measure(args.packets, args.rounds, args.download_mb)
@@ -247,6 +250,15 @@ def main(argv=None) -> int:
     if not args.no_record:
         perf.record("dataplane", metrics, label=args.label)
         print(f"\nrecorded to {perf.bench_path('dataplane')}")
+
+    if args.registry:
+        from repro.obs.registry import RunRegistry
+
+        record = RunRegistry().append(
+            "bench-dataplane", "bench", metrics,
+            meta={"label": args.label} if args.label else None,
+        )
+        print(f"registry: {record.rec_id} appended to {RunRegistry().path}")
 
     if failures:
         print("\nPERF REGRESSION:", file=sys.stderr)

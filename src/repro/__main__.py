@@ -9,10 +9,16 @@ Commands:
 - ``traces``    — the Fig. 7 trace-driven experiment;
 - ``profile``   — one profiled download (kernel hot-path table);
 - ``trace``     — JSONL trace analysis (``summary`` / ``spans`` /
-  ``chrome`` / ``diff``).
+  ``chrome`` / ``diff``);
+- ``runs``      — the persistent run registry (``list`` / ``show`` /
+  ``diff`` / ``gauges``).
 
 ``demo`` and ``sweep`` take ``--trace PATH`` to record every run into
 one multi-run JSONL trace that the ``trace`` subcommands consume.
+``demo --gauges`` installs the flight recorder (sampled state gauges)
+and appends each run — gauge timelines included — to the run registry
+(``.repro_runs/``, override with ``REPRO_RUNS_DIR`` or
+``--registry-dir``); ``--audit`` runs the invariant auditor alongside.
 """
 
 from __future__ import annotations
@@ -39,10 +45,12 @@ def cmd_demo(args) -> None:
         xftp = run_download(
             "xftp", params=params, seed=args.seed,
             trace_path=trace_fh, spans=args.spans,
+            gauges=args.gauges, audit=args.audit,
         )
         softstage = run_download(
             "softstage", params=params, seed=args.seed,
             trace_path=trace_fh, spans=args.spans,
+            gauges=args.gauges, audit=args.audit,
         )
     finally:
         if trace_fh is not None:
@@ -60,6 +68,9 @@ def cmd_demo(args) -> None:
     ))
     print(f"gain: {xftp.download_time / softstage.download_time:.2f}x "
           f"(paper: ~1.77x)")
+    if args.audit:
+        for result in (xftp, softstage):
+            print(f"[{result.run_id}] {result.auditor.render()}")
     if args.spans:
         for result in (xftp, softstage):
             print()
@@ -69,6 +80,23 @@ def cmd_demo(args) -> None:
     if args.trace:
         print(f"\ntrace written to {args.trace} "
               f"(runs: {xftp.run_id}, {softstage.run_id})")
+    if args.gauges:
+        from repro.obs.registry import RunRegistry, record_from_result
+
+        registry = RunRegistry(args.registry_dir)
+        meta = {"file_mb": args.file_mb, "seed": args.seed}
+        for result in (xftp, softstage):
+            run_id, metrics, gauge_tl = record_from_result(result)
+            registry.append(run_id, "demo", metrics, gauge_tl, meta)
+        gain_record = registry.append(
+            f"demo-seed{args.seed}", "demo",
+            {"gain": xftp.download_time / softstage.download_time,
+             "xftp_time": xftp.download_time,
+             "softstage_time": softstage.download_time},
+            meta=meta,
+        )
+        print(f"\nregistry: 3 records appended to {registry.path} "
+              f"(latest {gain_record.rec_id})")
 
 
 def cmd_fig5(args) -> None:
@@ -109,6 +137,22 @@ def cmd_sweep(args) -> None:
     print(series.render())
     if args.trace:
         print(f"\ntrace written to {args.trace}")
+    if args.registry:
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry(args.registry_dir)
+        metrics = {}
+        for row in series.rows:
+            key = row.label.replace(" ", "")
+            metrics[f"gain.{key}"] = row.gain
+            metrics[f"xftp_time.{key}"] = row.xftp_time
+            metrics[f"softstage_time.{key}"] = row.softstage_time
+        record = registry.append(
+            f"sweep-{args.panel}", "sweep", metrics,
+            meta={"panel": args.panel, "file_mb": args.file_mb,
+                  "seeds": args.seeds, "scale": args.scale},
+        )
+        print(f"registry: {record.rec_id} appended to {registry.path}")
 
 
 def cmd_profile(args) -> None:
@@ -267,6 +311,155 @@ def cmd_trace_diff(args) -> None:
     ))
 
 
+# -- run registry ------------------------------------------------------------
+
+
+def _registry(args):
+    from repro.obs.registry import RunRegistry
+
+    return RunRegistry(args.registry_dir)
+
+
+def _find_record(registry, key: str):
+    try:
+        return registry.find(key)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _headline(metrics: dict) -> str:
+    gains = {
+        name: value for name, value in metrics.items()
+        if "gain" in name and isinstance(value, (int, float))
+    }
+    if gains:
+        values = list(gains.values())
+        if len(values) == 1:
+            return f"gain={values[0]:.2f}x"
+        return (f"gains={min(values):.2f}x..{max(values):.2f}x "
+                f"({len(values)} points)")
+    time_s = metrics.get("download_time")
+    if isinstance(time_s, (int, float)):
+        return f"time={time_s:.1f}s"
+    return f"{len(metrics)} metrics"
+
+
+def cmd_runs_list(args) -> None:
+    registry = _registry(args)
+    records = registry.records()
+    if not records:
+        print(f"no records in {registry.path}")
+        return
+    print(render_table(
+        f"Run registry ({registry.path})",
+        ("rec", "kind", "run", "recorded", "sha", "gauges", "headline"),
+        [(r.rec_id, r.kind, r.run_id, r.recorded_at, r.git_sha[:8],
+          len(r.gauges), _headline(r.metrics)) for r in records],
+    ))
+
+
+def cmd_runs_show(args) -> None:
+    registry = _registry(args)
+    record = _find_record(registry, args.run)
+    print(f"record   {record.rec_id} (kind={record.kind})")
+    print(f"run      {record.run_id}")
+    print(f"recorded {record.recorded_at}  sha {record.git_sha[:12]}")
+    print(f"machine  {record.machine}")
+    if record.meta:
+        print(f"meta     {json.dumps(record.meta, sort_keys=True)}")
+    print()
+    print(render_table(
+        "Metrics", ("metric", "value"),
+        [(name, record.metrics[name]) for name in sorted(record.metrics)],
+    ))
+    if record.gauges:
+        print()
+        print(render_table(
+            "Gauge timelines", ("gauge", "samples", "last"),
+            [(name, len(series["t"]),
+              series["v"][-1] if series["v"] else "-")
+             for name, series in sorted(record.gauges.items())],
+        ))
+
+
+def cmd_runs_diff(args) -> None:
+    from repro.obs.registry import diff_records, regressions
+
+    registry = _registry(args)
+    record_a = _find_record(registry, args.run_a)
+    record_b = _find_record(registry, args.run_b)
+    deltas = diff_records(record_a, record_b)
+    if not deltas:
+        print(f"records {record_a.rec_id} and {record_b.rec_id} share "
+              f"no numeric metrics")
+        return
+    rows = []
+    for d in deltas:
+        ratio = f"{d.ratio:.3f}" if d.ratio is not None else "-"
+        flag = "REGRESSION" if d.regression else ""
+        rows.append((d.name, f"{d.value_a:.4g}", f"{d.value_b:.4g}",
+                     ratio, flag))
+    print(render_table(
+        f"Registry diff: A={record_a.rec_id}  B={record_b.rec_id}",
+        ("metric", "A", "B", "B/A", ""),
+        rows,
+    ))
+    flagged = regressions(deltas)
+    if flagged:
+        print(f"\n{len(flagged)} gain regression(s) past the "
+              f"paper-shape threshold:")
+        for d in flagged:
+            print(f"  {d.name}: {d.value_a:.3f} -> {d.value_b:.3f} "
+                  f"({d.ratio:.0%} of A)")
+        if args.fail_on_regression:
+            raise SystemExit(1)
+    else:
+        print("\nno gain regressions")
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list) -> str:
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK[0] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def cmd_runs_gauges(args) -> None:
+    registry = _registry(args)
+    record = _find_record(registry, args.run)
+    series = (record.gauge_series(args.metric) if args.metric
+              else record.gauges)
+    if not series:
+        have = ", ".join(sorted(record.gauges)) or "none"
+        raise SystemExit(
+            f"record {record.rec_id} has no gauge matching "
+            f"{args.metric!r} (recorded: {have})"
+        )
+    if args.csv:
+        print("gauge,t,value")
+        for name in sorted(series):
+            for t, v in zip(series[name]["t"], series[name]["v"]):
+                print(f"{name},{t:g},{v:g}")
+        return
+    print(f"gauge timelines [{record.rec_id}]")
+    width = max(len(name) for name in series)
+    for name in sorted(series):
+        values = series[name]["v"]
+        times = series[name]["t"]
+        if not values:
+            print(f"  {name:<{width}}  (empty)")
+            continue
+        print(f"  {name:<{width}}  {_sparkline(values)}  "
+              f"[{min(values):g}, {max(values):g}] over "
+              f"t=[{times[0]:g}, {times[-1]:g}]s ({len(values)} samples)")
+
+
 def cmd_traces(args) -> None:
     results = run_traces(
         seeds=tuple(range(args.seeds)),
@@ -293,6 +486,14 @@ def main(argv=None) -> int:
                       help="record both runs into one JSONL trace")
     demo.add_argument("--spans", action="store_true",
                       help="derive and print causal span summaries")
+    demo.add_argument("--gauges", action="store_true",
+                      help="install the flight recorder and append both "
+                           "runs (with gauge timelines) to the run registry")
+    demo.add_argument("--audit", action="store_true",
+                      help="run the invariant auditor over both runs")
+    demo.add_argument("--registry-dir", metavar="DIR",
+                      help="registry directory (default .repro_runs, or "
+                           "REPRO_RUNS_DIR)")
     demo.set_defaults(fn=cmd_demo)
 
     fig5 = sub.add_parser("fig5", help="XIA substrate benchmark")
@@ -309,6 +510,12 @@ def main(argv=None) -> int:
                             "to --jobs 1)")
     sweep.add_argument("--trace", metavar="PATH",
                        help="record every run into one JSONL trace")
+    sweep.add_argument("--registry", action="store_true",
+                       help="append the sweep's per-point gains to the "
+                            "run registry")
+    sweep.add_argument("--registry-dir", metavar="DIR",
+                       help="registry directory (default .repro_runs, or "
+                            "REPRO_RUNS_DIR)")
     sweep.set_defaults(fn=cmd_sweep)
 
     prof = sub.add_parser("profile", help="one profiled download")
@@ -351,6 +558,38 @@ def main(argv=None) -> int:
     tdiff.add_argument("--run-a", help="run id in the first trace")
     tdiff.add_argument("--run-b", help="run id in the second trace")
     tdiff.set_defaults(fn=cmd_trace_diff)
+
+    runs = sub.add_parser("runs", help="the persistent run registry")
+    runs.add_argument("--registry-dir", metavar="DIR",
+                      help="registry directory (default .repro_runs, or "
+                           "REPRO_RUNS_DIR)")
+    rsub = runs.add_subparsers(dest="runs_command", required=True)
+
+    rlist = rsub.add_parser("list", help="all registry records")
+    rlist.set_defaults(fn=cmd_runs_list)
+
+    rshow = rsub.add_parser("show", help="one record in full")
+    rshow.add_argument("run", help="rec id or run id (substring; latest wins)")
+    rshow.set_defaults(fn=cmd_runs_show)
+
+    rdiff = rsub.add_parser(
+        "diff", help="compare two records, flagging gain regressions"
+    )
+    rdiff.add_argument("run_a")
+    rdiff.add_argument("run_b")
+    rdiff.add_argument("--fail-on-regression", action="store_true",
+                       help="exit 1 when a gain metric regresses past the "
+                            "paper-shape threshold")
+    rdiff.set_defaults(fn=cmd_runs_diff)
+
+    rgauges = rsub.add_parser("gauges", help="render a record's gauge timelines")
+    rgauges.add_argument("run", help="rec id or run id")
+    rgauges.add_argument("--metric", metavar="NAME",
+                         help="substring filter, e.g. cache_occupancy or "
+                              "staging.lead")
+    rgauges.add_argument("--csv", action="store_true",
+                         help="emit gauge,t,value CSV instead of sparklines")
+    rgauges.set_defaults(fn=cmd_runs_gauges)
 
     handoff = sub.add_parser("handoff", help="handoff-policy comparison")
     handoff.add_argument("--file-mb", type=float, default=48.0)

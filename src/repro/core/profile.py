@@ -169,6 +169,27 @@ class ChunkProfile:
             if record.staging_state is StagingState.PENDING
         )
 
+    def staged_ahead_bytes(self) -> int:
+        """The Eq. 1 staging *lead* in bytes: READY but not yet fetched.
+
+        This is the quantity the coordinator keeps just-in-time — the
+        flight recorder samples it as ``staging.lead_bytes``.
+        """
+        return sum(
+            record.size_bytes
+            for record in self._records.values()
+            if record.fetch_state is not FetchState.DONE
+            and record.staging_state is StagingState.READY
+        )
+
+    def fetched_bytes(self) -> int:
+        """Client progress in bytes (flight-recorder gauge)."""
+        return sum(
+            record.size_bytes
+            for record in self._records.values()
+            if record.fetch_state is FetchState.DONE
+        )
+
     def next_to_stage(self, count: int) -> list[ChunkRecord]:
         """The next ``count`` un-signalled, un-fetched chunks in order."""
         result: list[ChunkRecord] = []

@@ -72,6 +72,24 @@ class RunSummary:
     staging_signals: int
     wall_seconds: float = field(compare=False, default=0.0)
 
+    def as_record(self) -> tuple[str, dict]:
+        """``(run_id, metrics)`` in run-registry shape.
+
+        The same identity scheme as :func:`repro.experiments.runner.
+        run_download` (``{system}-seed{seed}``), so sweep records and
+        instrumented single runs diff against each other.
+        """
+        return f"{self.system}-seed{self.seed}", {
+            "download_time": self.download_time,
+            "bytes_received": self.bytes_received,
+            "chunks_completed": self.chunks_completed,
+            "chunks_from_edge": self.chunks_from_edge,
+            "chunks_from_origin": self.chunks_from_origin,
+            "fallbacks": self.fallbacks,
+            "handoffs": self.handoffs,
+            "staging_signals": self.staging_signals,
+        }
+
 
 def execute_task(task: SweepTask) -> RunSummary:
     """Run one task to completion (module-level: pool workers import it)."""

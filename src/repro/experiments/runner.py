@@ -21,6 +21,12 @@ from repro.experiments.params import MicrobenchParams
 from repro.experiments.scenario import TestbedScenario
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.coverage import Coverage
+from repro.obs.flight import (
+    DEFAULT_PERIOD,
+    GaugeSampler,
+    InvariantAuditor,
+    install_flight_recorder,
+)
 from repro.obs.spans import Span, SpanBuilder
 from repro.obs.trace import TraceExporter
 from repro.sim.profiler import SimProfiler
@@ -45,10 +51,24 @@ class ExperimentResult:
     spans: Optional[list[Span]] = field(default=None, repr=False)
     #: The kernel profiler, still queryable (``profile=True``).
     profile: Optional[SimProfiler] = field(default=None, repr=False)
+    #: The flight-recorder sampler (``gauges=True``).
+    sampler: Optional[GaugeSampler] = field(default=None, repr=False)
+    #: The invariant auditor, already parity-checked (``audit=True``).
+    auditor: Optional[InvariantAuditor] = field(default=None, repr=False)
 
     @property
     def throughput_bps(self) -> float:
         return self.download.throughput_bps
+
+    def gauge_timelines(self) -> dict[str, list[tuple[float, float]]]:
+        """This run's gauge timelines, stripped of the series prefix."""
+        if self.metrics is None:
+            return {}
+        prefix = f"gauge.{self.run_id}."
+        return {
+            name[len(prefix):]: points
+            for name, points in self.metrics.timelines(prefix).items()
+        }
 
 
 def run_download(
@@ -65,6 +85,9 @@ def run_download(
     trace_path: Optional[Union[str, IO[str]]] = None,
     spans: bool = False,
     profile: bool = False,
+    gauges: bool = False,
+    audit: bool = False,
+    gauge_period: float = DEFAULT_PERIOD,
     run_id: Optional[str] = None,
 ) -> ExperimentResult:
     """Build a fresh testbed and run one full download.
@@ -81,6 +104,16 @@ def run_download(
     attaches a live :class:`~repro.obs.spans.SpanBuilder` and returns
     its finished spans; ``profile=True`` installs a
     :class:`~repro.sim.profiler.SimProfiler` on the kernel.
+
+    ``gauges=True`` installs the flight recorder (standard testbed
+    gauge set, sampled every ``gauge_period`` sim-seconds; implies
+    ``instrument=True`` so the timelines land in the collector).
+    ``audit=True`` attaches a strict :class:`InvariantAuditor` to the
+    bus and runs the end-of-run report-parity check (also implies
+    ``instrument=True``); the audited run raises
+    :class:`~repro.obs.flight.InvariantViolationError` at the first
+    conservation violation.  Both are off by default and cost nothing
+    when off.
 
     Every run gets a distinct identity — ``run_id`` or the derived
     ``"{system}-seed{seed}"`` — stamped on each trace event, so runs
@@ -103,7 +136,9 @@ def run_download(
     exporter: Optional[TraceExporter] = None
     builder: Optional[SpanBuilder] = None
     profiler: Optional[SimProfiler] = None
-    if instrument or trace_path is not None:
+    sampler: Optional[GaugeSampler] = None
+    auditor: Optional[InvariantAuditor] = None
+    if instrument or trace_path is not None or gauges or audit:
         collector = MetricsCollector(scenario.sim).attach(scenario.sim.probe.bus)
         if trace_path is not None:
             exporter = TraceExporter(trace_path).attach(scenario.sim.probe.bus)
@@ -111,6 +146,8 @@ def run_download(
         builder = SpanBuilder(run_id=run_id).attach(scenario.sim.probe.bus)
     if profile:
         profiler = SimProfiler(scenario.sim).install()
+    if audit:
+        auditor = InvariantAuditor(strict=True).attach(scenario.sim.probe.bus)
     try:
         content = scenario.publish_default_content()
         if system == "softstage":
@@ -119,6 +156,14 @@ def run_download(
             client = scenario.make_xftp_client()
         else:
             raise ConfigurationError(f"unknown system {system!r}")
+        if gauges:
+            # The staging-pipeline gauges need the manager, which only
+            # exists for a SoftStage client.
+            sampler = install_flight_recorder(
+                scenario,
+                manager=getattr(client, "manager", None),
+                period=gauge_period,
+            )
         process = scenario.sim.process(client.download(content, deadline=deadline))
         download: DownloadResult = scenario.sim.run(until=process)
     finally:
@@ -126,6 +171,10 @@ def run_download(
             exporter.close()
         if profiler is not None:
             profiler.uninstall()
+        if auditor is not None:
+            auditor.detach()
+    if auditor is not None and collector is not None:
+        auditor.check_report_parity(collector.report())
     return ExperimentResult(
         system=system,
         seed=seed,
@@ -136,6 +185,8 @@ def run_download(
         trace_path=exporter.path if exporter is not None else None,
         spans=builder.finish() if builder is not None else None,
         profile=profiler,
+        sampler=sampler,
+        auditor=auditor,
     )
 
 

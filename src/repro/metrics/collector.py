@@ -74,6 +74,24 @@ class MetricsCollector:
         except KeyError:
             raise KeyError(f"no series named {name!r}") from None
 
+    def series_names(self, prefix: str = "") -> list[str]:
+        """Recorded series names (optionally filtered by prefix), sorted."""
+        return sorted(
+            name for name in self._series if name.startswith(prefix)
+        )
+
+    def timelines(self, prefix: str = "") -> dict[str, list[tuple[float, float]]]:
+        """``{name: [(t, v), ...]}`` for every series under ``prefix``.
+
+        The flight recorder's gauges land here under ``gauge.*`` —
+        this is the comparison surface for live-vs-replay parity and
+        the payload the run registry persists.
+        """
+        return {
+            name: list(self._series[name])
+            for name in self.series_names(prefix)
+        }
+
     def report(self) -> dict[str, object]:
         """A flat snapshot for printing or JSON dumping."""
         out: dict[str, object] = dict(self.counters)
@@ -93,7 +111,13 @@ class MetricsCollector:
         return self
 
     def detach(self, bus: Optional[EventBus] = None) -> None:
-        """Stop listening (to ``bus``, or to every attached bus)."""
+        """Stop listening (to ``bus``, or to every attached bus).
+
+        Idempotent by contract: calling it twice, or for a bus this
+        collector never attached to (including with no prior
+        ``attach`` at all), is a no-op — teardown paths need no
+        attach/detach bookkeeping of their own.
+        """
         buses = [bus] if bus is not None else list(self._buses)
         for b in buses:
             b.unsubscribe_all(self._on_event)
@@ -101,9 +125,22 @@ class MetricsCollector:
                 self._buses.remove(b)
 
     def _on_event(self, stamped: Stamped) -> None:
-        handler = _EVENT_METRICS.get(type(stamped.event))
+        event = stamped.event
+        if type(event) is ev.GaugeSample:
+            # Gauges become time series keyed by the stamped sim time,
+            # so a replayed trace reproduces the exact timelines.  The
+            # run id is part of the series name: a multi-run trace
+            # replays each run's gauges into its own (monotonic)
+            # series, exactly as the per-run live collectors saw them.
+            self.record(
+                f"gauge.{stamped.run_id}.{event.gauge}",
+                event.value,
+                time=stamped.time,
+            )
+            return
+        handler = _EVENT_METRICS.get(type(event))
         if handler is not None:
-            handler(self, stamped.event)
+            handler(self, event)
 
 
 # -- the event-to-metric mapping ---------------------------------------------

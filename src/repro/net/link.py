@@ -194,6 +194,11 @@ class LinkDirection:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting in this direction's queue (flight-recorder gauge)."""
+        return self._queued_bytes
+
     # -- transmission ---------------------------------------------------------
 
     def _begin_next(self) -> None:

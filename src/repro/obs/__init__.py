@@ -11,7 +11,11 @@ Consumers subscribe by event type:
   into counters/samples (``collector.attach(sim.probe.bus)``);
 - :class:`~repro.obs.trace.TraceExporter` writes a JSONL trace that
   :func:`~repro.obs.trace.replay_trace` can turn back into an identical
-  metrics report offline.
+  metrics report offline;
+- the flight recorder (:mod:`repro.obs.flight`) samples state gauges
+  into the event stream and audits it against conservation invariants;
+- the run registry (:mod:`repro.obs.registry`) persists per-run
+  summaries and gauge timelines for cross-run diffing.
 
 With no subscribers attached the bus is zero-cost: publishers check
 ``probe.active`` (a plain attribute read) before constructing events.
@@ -22,19 +26,35 @@ from repro.obs.probe import Probe
 from repro.obs.trace import TraceExporter, read_trace, replay_trace
 from repro.obs import events
 from repro.obs.events import EVENT_TYPES, ObsEvent
+from repro.obs.flight import (
+    GaugeSampler,
+    InvariantAuditor,
+    InvariantViolation,
+    InvariantViolationError,
+    install_flight_recorder,
+)
+from repro.obs.registry import RunRecord, RunRegistry, diff_records
 from repro.obs.spans import Span, SpanBuilder, build_spans, render_summary, summarize_spans
 
 __all__ = [
     "EVENT_TYPES",
     "EventBus",
+    "GaugeSampler",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "InvariantViolationError",
     "ObsEvent",
     "Probe",
+    "RunRecord",
+    "RunRegistry",
     "Span",
     "SpanBuilder",
     "Stamped",
     "TraceExporter",
     "build_spans",
+    "diff_records",
     "events",
+    "install_flight_recorder",
     "read_trace",
     "render_summary",
     "replay_trace",

@@ -13,6 +13,7 @@ The taxonomy, by emitting layer:
 Layer      Events
 ========== ==========================================================
 sim        :class:`ProcessFailed`, :class:`ProfilerSample`
+obs        :class:`GaugeSample` (the flight recorder's sampled gauges)
 net        :class:`PacketDropped`, :class:`LinkStateChanged`,
            :class:`LinkRetransmission`
 transport  :class:`SegmentTimeout`, :class:`SegmentRetransmitted`,
@@ -274,6 +275,28 @@ class EncounterEnded(ObsEvent):
     duration: float
 
 
+# -- flight recorder --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GaugeSample(ObsEvent):
+    """One sampled state-gauge reading (flight recorder).
+
+    Emitted by :class:`repro.obs.flight.GaugeSampler` on its sim-time
+    sampling period, one event per registered gauge per tick.  Values
+    are pure functions of simulation state (never wall clock), so a
+    trace replays into gauge timelines identical to the live run's.
+
+    ``gauge`` names the quantity with dotted components, coarse to
+    fine — ``cache.occupancy_bytes.xcache-A``,
+    ``staging.lead_bytes``, ``link.queue_bytes.internet.fwd`` — so
+    consumers can select families by prefix.
+    """
+
+    gauge: str
+    value: float
+
+
 # -- profiler ---------------------------------------------------------------
 
 
@@ -319,6 +342,7 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
         PrestageSignalled,
         CoverageGap,
         EncounterEnded,
+        GaugeSample,
         ProfilerSample,
     )
 }

@@ -1,0 +1,298 @@
+"""The persistent run registry: every run leaves a comparable record.
+
+A registry is one append-only JSONL file (``.repro_runs/registry.jsonl``
+by default, ``REPRO_RUNS_DIR`` overrides the directory) where demos,
+sweeps and benches deposit a summary record — run identity, git SHA,
+machine fingerprint (shared with :mod:`repro.perf`), headline metrics
+and (when the flight recorder ran) the sampled gauge timelines.  The
+``python -m repro runs`` CLI lists, renders and diffs records, flagging
+paper-shape regressions (Fig. 6/7 gain ratios) between any two runs.
+
+Record schema (one JSON object per line)::
+
+    {"rec_id": "0003/demo-seed0", "run_id": "demo-seed0",
+     "kind": "demo", "recorded_at": "...", "git_sha": "...",
+     "machine": "linux-x86_64-...", "metrics": {"gain": 1.8, ...},
+     "gauges": {"staging.lead_bytes": {"t": [...], "v": [...]}, ...},
+     "meta": {...}}
+
+Forward compatibility mirrors the trace reader: unknown top-level keys
+are preserved on load, and records missing optional keys get empty
+defaults, so old registries keep loading as the schema grows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import perf
+
+#: Default registry directory (override with ``REPRO_RUNS_DIR``).
+DEFAULT_DIR = ".repro_runs"
+REGISTRY_FILE = "registry.jsonl"
+
+#: Relative drop in a ``gain``-family metric that counts as a
+#: paper-shape regression in :func:`diff_records`.
+GAIN_REGRESSION_THRESHOLD = 0.15
+
+_git_sha_cache: Optional[str] = None
+
+#: Gauge-name filters treat ``.`` and ``_`` as the same separator.
+_FOLD = str.maketrans("._", "--")
+
+
+def _fold(name: str) -> str:
+    return name.translate(_FOLD)
+
+
+def git_sha() -> str:
+    """The current commit SHA (cached; ``"unknown"`` outside a repo)."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5, check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
+@dataclass
+class RunRecord:
+    """One registry line, parsed."""
+
+    rec_id: str
+    run_id: str
+    kind: str
+    recorded_at: str
+    git_sha: str
+    machine: str
+    metrics: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    #: Top-level keys written by a newer version, preserved verbatim.
+    extra: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RunRecord":
+        known = {
+            "rec_id", "run_id", "kind", "recorded_at", "git_sha",
+            "machine", "metrics", "gauges", "meta",
+        }
+        return cls(
+            rec_id=str(payload.get("rec_id", "")),
+            run_id=str(payload.get("run_id", "")),
+            kind=str(payload.get("kind", "run")),
+            recorded_at=str(payload.get("recorded_at", "")),
+            git_sha=str(payload.get("git_sha", "unknown")),
+            machine=str(payload.get("machine", "")),
+            metrics=dict(payload.get("metrics", {})),
+            gauges=dict(payload.get("gauges", {})),
+            meta=dict(payload.get("meta", {})),
+            extra={k: v for k, v in payload.items() if k not in known},
+        )
+
+    def to_json(self) -> dict:
+        payload = dict(self.extra)
+        payload.update(
+            rec_id=self.rec_id,
+            run_id=self.run_id,
+            kind=self.kind,
+            recorded_at=self.recorded_at,
+            git_sha=self.git_sha,
+            machine=self.machine,
+            metrics=self.metrics,
+            gauges=self.gauges,
+            meta=self.meta,
+        )
+        return payload
+
+    def gauge_series(self, metric: str) -> dict[str, list]:
+        """Gauge timelines whose name contains ``metric`` (substring).
+
+        ``.`` and ``_`` are interchangeable in the filter, so
+        ``cache_occupancy`` matches ``cache.occupancy_bytes.*``.
+        """
+        wanted = _fold(metric)
+        return {
+            name: series
+            for name, series in self.gauges.items()
+            if wanted in _fold(name)
+        }
+
+
+class RunRegistry:
+    """Append/load/diff interface over one registry JSONL file."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = (
+            directory
+            or os.environ.get("REPRO_RUNS_DIR")
+            or DEFAULT_DIR
+        )
+        self.path = os.path.join(self.directory, REGISTRY_FILE)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(
+        self,
+        run_id: str,
+        kind: str,
+        metrics: dict,
+        gauges: Optional[dict] = None,
+        meta: Optional[dict] = None,
+    ) -> RunRecord:
+        """Append one record; assigns a unique ``rec_id`` and returns it."""
+        os.makedirs(self.directory, exist_ok=True)
+        seq = sum(1 for _ in self._lines()) + 1
+        record = RunRecord(
+            rec_id=f"{seq:04d}/{run_id}",
+            run_id=run_id,
+            kind=kind,
+            recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            git_sha=git_sha(),
+            machine=perf.fingerprint(),
+            metrics=dict(metrics),
+            gauges=dict(gauges or {}),
+            meta=dict(meta or {}),
+        )
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record.to_json(), separators=(",", ":")))
+            fh.write("\n")
+        return record
+
+    # -- reading -------------------------------------------------------------
+
+    def _lines(self):
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        yield line
+        except FileNotFoundError:
+            return
+
+    def records(self) -> list[RunRecord]:
+        return [RunRecord.from_json(json.loads(line)) for line in self._lines()]
+
+    def find(self, key: str) -> RunRecord:
+        """Resolve ``key`` to one record.
+
+        Exact ``rec_id`` match wins; otherwise the *latest* record
+        whose ``run_id`` (or rec_id) contains ``key``.  Raises
+        :class:`KeyError` when nothing matches.
+        """
+        records = self.records()
+        for record in records:
+            if record.rec_id == key:
+                return record
+        matches = [
+            record for record in records
+            if key in record.run_id or key in record.rec_id
+        ]
+        if not matches:
+            raise KeyError(
+                f"no registry record matches {key!r} "
+                f"({len(records)} records in {self.path})"
+            )
+        return matches[-1]
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One shared metric compared across two records."""
+
+    name: str
+    value_a: float
+    value_b: float
+    #: B relative to A (``None`` when A is zero).
+    ratio: Optional[float]
+    #: True when this is a gain-family metric that regressed past the
+    #: paper-shape threshold.
+    regression: bool
+
+
+def diff_records(
+    a: RunRecord,
+    b: RunRecord,
+    gain_threshold: float = GAIN_REGRESSION_THRESHOLD,
+) -> list[MetricDelta]:
+    """Compare the numeric metrics two records share, A → B.
+
+    Metrics whose name contains ``gain`` carry the paper's headline
+    shape (Fig. 6/7 Xftp-over-SoftStage ratios): when B falls more
+    than ``gain_threshold`` below A, the delta is flagged as a
+    regression.  Everything else is informational.
+    """
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(a.metrics) & set(b.metrics)):
+        va, vb = a.metrics[name], b.metrics[name]
+        if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+            continue
+        ratio = vb / va if va else None
+        regression = (
+            "gain" in name
+            and ratio is not None
+            and ratio < 1.0 - gain_threshold
+        )
+        deltas.append(
+            MetricDelta(
+                name=name,
+                value_a=float(va),
+                value_b=float(vb),
+                ratio=ratio,
+                regression=regression,
+            )
+        )
+    return deltas
+
+
+def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
+    return [delta for delta in deltas if delta.regression]
+
+
+# ---------------------------------------------------------------------------
+# Record builders
+# ---------------------------------------------------------------------------
+
+
+def record_from_result(result, kind: str = "download") -> tuple[str, dict, dict]:
+    """(run_id, metrics, gauges) for one ExperimentResult.
+
+    Gauge timelines come out of the result's collector under the
+    ``gauge.<run_id>.`` namespace and are stored stripped of it, as
+    ``{name: {"t": [...], "v": [...]}}`` (compact JSONL columns).
+    """
+    download = result.download
+    metrics = {
+        "download_time": result.download_time,
+        "throughput_bps": result.throughput_bps,
+        "bytes_received": download.bytes_received,
+        "chunks_completed": download.chunks_completed,
+        "chunks_from_edge": download.chunks_from_edge,
+        "chunks_from_origin": download.chunks_from_origin,
+        "fallbacks": download.fallbacks,
+        "handoffs": download.handoffs,
+        "staging_signals": download.staging_signals,
+    }
+    gauges: dict[str, dict] = {}
+    if result.metrics is not None:
+        prefix = f"gauge.{result.run_id}."
+        for name, points in result.metrics.timelines(prefix).items():
+            times = [t for t, _v in points]
+            values = [v for _t, v in points]
+            gauges[name[len(prefix):]] = {"t": times, "v": values}
+    return result.run_id, metrics, gauges

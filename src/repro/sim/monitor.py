@@ -32,20 +32,41 @@ class TimeSeries:
         return self.values[-1] if self.values else None
 
     def time_average(self, until: Optional[float] = None) -> float:
-        """Time-weighted mean, treating the series as a step function."""
+        """Time-weighted mean over ``[times[0], until]``, as a step function.
+
+        ``until`` defaults to the last sample time.  The series is not
+        defined before its first sample, so ``until`` earlier than
+        ``times[0]`` raises :class:`ValueError` (it used to silently
+        extrapolate the first value backwards); ``until`` equal to
+        ``times[0]`` — a zero-width window — returns the first value.
+        An ``until`` inside the series integrates only up to it.
+        """
         if not self.values:
             raise ValueError(f"empty time series {self.name!r}")
         end = self.times[-1] if until is None else until
-        if len(self.values) == 1 or end <= self.times[0]:
+        first = self.times[0]
+        if end < first:
+            raise ValueError(
+                f"until={end} precedes the first sample t={first} "
+                f"in {self.name!r}"
+            )
+        if end == first:
             return self.values[0]
         total = 0.0
-        for i in range(len(self.times) - 1):
-            total += self.values[i] * (self.times[i + 1] - self.times[i])
-        total += self.values[-1] * (end - self.times[-1])
-        return total / (end - self.times[0])
+        for i, start in enumerate(self.times):
+            if start >= end:
+                break
+            stop = self.times[i + 1] if i + 1 < len(self.times) else end
+            total += self.values[i] * (min(stop, end) - start)
+        return total / (end - first)
 
     def value_at(self, time: float) -> float:
-        """Step-function value at ``time`` (last sample at or before it)."""
+        """Step-function value at ``time`` (last sample at or before it).
+
+        The series is undefined before its first sample: ``time``
+        earlier than ``times[0]`` (or an empty series) raises
+        :class:`ValueError` rather than extrapolating backwards.
+        """
         if not self.times or time < self.times[0]:
             raise ValueError(f"no sample at or before t={time} in {self.name!r}")
         # Binary search for rightmost sample <= time.

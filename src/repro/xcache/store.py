@@ -145,6 +145,19 @@ class ContentStore:
     def is_pinned(self, cid: XID) -> bool:
         return cid in self._pinned
 
+    @property
+    def pinned_count(self) -> int:
+        """Chunks currently pinned (flight-recorder gauge)."""
+        return len(self._pinned)
+
+    def gauges(self) -> dict[str, float]:
+        """The store's sampled-state snapshot (flight recorder)."""
+        return {
+            "occupancy_bytes": float(self.used_bytes),
+            "chunks": float(len(self._chunks)),
+            "pinned": float(len(self._pinned)),
+        }
+
     # -- internals -------------------------------------------------------------
 
     def _evictable(self) -> list[XID]:

@@ -1,0 +1,316 @@
+"""Flight recorder: gauge sampling, replay parity, invariant auditing."""
+
+import io
+
+import pytest
+
+from repro.experiments.params import MicrobenchParams
+from repro.experiments.runner import run_download
+from repro.metrics.collector import MetricsCollector
+from repro.obs.bus import EventBus, Stamped
+from repro.obs.events import CacheEvicted, CacheStored, ChunkStaged, GaugeSample
+from repro.obs.flight import (
+    GaugeSampler,
+    InvariantAuditor,
+    InvariantViolationError,
+    install_flight_recorder,
+)
+from repro.obs.trace import replay_trace
+from repro.sim import Simulator
+from repro.util import MB
+
+PARAMS = MicrobenchParams(file_size=2 * MB)
+
+
+# ---------------------------------------------------------------------------
+# GaugeSampler
+# ---------------------------------------------------------------------------
+
+
+def _collected(sim):
+    collector = MetricsCollector(sim)
+    collector.attach(sim.probe.bus)
+    return collector
+
+
+def test_sampler_emits_each_gauge_every_period():
+    sim = Simulator()
+    sim.probe.run_id = "r"
+    collector = _collected(sim)
+    state = {"x": 0.0}
+    sampler = GaugeSampler(sim, period=1.0)
+    sampler.register("test.x", lambda: state["x"])
+    sampler.start()
+
+    def bump():
+        while True:
+            state["x"] += 1.0
+            yield sim.timeout(1.0)
+
+    sim.process(bump())
+    sim.run(until=3.5)
+    series = collector.series("gauge.r.test.x")
+    assert list(series) == [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+    assert sampler.samples_taken == 4
+
+
+def test_sampler_rejects_duplicate_gauge_names():
+    sampler = GaugeSampler(Simulator())
+    sampler.register("a", lambda: 0.0)
+    with pytest.raises(ValueError, match="already registered"):
+        sampler.register("a", lambda: 1.0)
+
+
+def test_sampler_rejects_nonpositive_period():
+    with pytest.raises(ValueError):
+        GaugeSampler(Simulator(), period=0.0)
+
+
+def test_sampler_is_silent_without_subscribers():
+    sim = Simulator()
+    sampler = GaugeSampler(sim, period=1.0)
+    calls = []
+    sampler.register("g", lambda: calls.append(1) or 0.0)
+    sampler.start()
+    sim.run(until=5.0)
+    # probe.active is False with nothing attached: gauges never even read.
+    assert calls == []
+    assert sampler.samples_taken == 0
+
+
+def test_start_is_idempotent():
+    sim = Simulator()
+    sim.probe.run_id = "r"
+    collector = _collected(sim)
+    sampler = GaugeSampler(sim, period=1.0).register("g", lambda: 1.0)
+    sampler.start()
+    sampler.start()
+    sim.run(until=2.5)
+    assert len(collector.series("gauge.r.g")) == 3  # not doubled
+
+
+# ---------------------------------------------------------------------------
+# Full-stack: recorder does not perturb the simulation; replay is exact
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_does_not_perturb_the_fixed_seed_run():
+    bare = run_download("softstage", params=PARAMS, seed=3)
+    recorded = run_download(
+        "softstage", params=PARAMS, seed=3, gauges=True, audit=True
+    )
+    assert recorded.download_time == bare.download_time
+    assert recorded.download.bytes_received == bare.download.bytes_received
+    assert recorded.download.handoffs == bare.download.handoffs
+
+
+def test_gauge_timelines_replay_identically():
+    buf = io.StringIO()
+    live = run_download(
+        "softstage", params=PARAMS, seed=0, gauges=True, trace_path=buf
+    )
+    live_timelines = live.metrics.timelines("gauge.")
+    assert live_timelines
+    buf.seek(0)
+    replayed = replay_trace(buf)
+    assert replayed.timelines("gauge.") == live_timelines
+    assert replayed.report() == live.metrics.report()
+
+
+def test_standard_gauge_set_covers_the_issue_surface():
+    result = run_download("softstage", params=PARAMS, seed=0, gauges=True)
+    names = set(result.gauge_timelines())
+    for expected in (
+        "staging.lead_bytes",
+        "staging.pending_chunks",
+        "staging.staged_ahead_chunks",
+        "client.progress_bytes",
+        "client.connected",
+        "pool.event_allocs",
+        "pool.events_free",
+        "pool.packet_releases",
+        "pool.packets_free",
+    ):
+        assert expected in names, expected
+    assert any(name.startswith("cache.occupancy_bytes.") for name in names)
+    assert any(name.startswith("link.queue_bytes.") for name in names)
+    assert any(name.startswith("link.utilization.") for name in names)
+
+
+def test_xftp_run_records_gauges_without_staging_pipeline():
+    result = run_download("xftp", params=PARAMS, seed=0, gauges=True)
+    names = set(result.gauge_timelines())
+    assert "client.connected" in names
+    assert "staging.lead_bytes" not in names  # no manager on Xftp
+
+
+def test_gauges_off_means_no_sampler_and_no_gauge_series():
+    result = run_download("softstage", params=PARAMS, seed=0, instrument=True)
+    assert result.sampler is None
+    assert result.metrics.series_names("gauge.") == []
+
+
+# ---------------------------------------------------------------------------
+# InvariantAuditor
+# ---------------------------------------------------------------------------
+
+
+def _stamp(event, time=1.0, run_id="r"):
+    return Stamped(time=time, run_id=run_id, event=event)
+
+
+def _audited_bus(strict=True):
+    bus = EventBus()
+    auditor = InvariantAuditor(strict=strict).attach(bus)
+    return bus, auditor
+
+
+def test_audited_live_run_is_clean():
+    result = run_download(
+        "softstage", params=PARAMS, seed=0, gauges=True, audit=True
+    )
+    assert result.auditor is not None
+    assert result.auditor.ok
+    assert result.auditor.events_audited > 0
+
+
+def test_eviction_exceeding_stored_bytes_fires():
+    bus, auditor = _audited_bus()
+    bus.publish(_stamp(CacheStored(store="s", cid="c1", size_bytes=100, pinned=False)))
+    with pytest.raises(InvariantViolationError) as info:
+        bus.publish(_stamp(CacheEvicted(store="s", cid="c1", size_bytes=200)))
+    (violation,) = info.value.violations
+    assert violation.invariant == "cache-conservation"
+    assert not auditor.ok
+
+
+def test_occupancy_gauge_disagreeing_with_balance_fires():
+    bus, auditor = _audited_bus()
+    bus.publish(_stamp(CacheStored(store="s", cid="c1", size_bytes=100, pinned=False)))
+    with pytest.raises(InvariantViolationError):
+        bus.publish(
+            _stamp(GaugeSample(gauge="cache.occupancy_bytes.s", value=150.0))
+        )
+    assert not auditor.ok
+
+
+def test_ready_without_pending_fires_with_a_useful_report():
+    bus, auditor = _audited_bus()
+    bus.publish(_stamp(CacheStored(store="s", cid="c9", size_bytes=1, pinned=False)))
+    with pytest.raises(InvariantViolationError) as info:
+        bus.publish(
+            _stamp(
+                ChunkStaged(
+                    cid="c9", staging_latency=None, control_rtt=None
+                ),
+                time=2.0,
+            )
+        )
+    report = info.value.violations[0].render()
+    # The report names the invariant, the time, and carries the
+    # timeline slice leading up to the violation.
+    assert "staging-state" in report
+    assert "t=2.0" in report
+    assert "timeline slice" in report
+    assert "CacheStored" in report
+    assert "c9" in report
+
+
+def test_monotonic_time_violation_fires():
+    bus, _auditor = _audited_bus()
+    bus.publish(_stamp(CacheStored(store="s", cid="c", size_bytes=1, pinned=False), time=5.0))
+    with pytest.raises(InvariantViolationError) as info:
+        bus.publish(
+            _stamp(CacheStored(store="s", cid="d", size_bytes=1, pinned=False), time=4.0)
+        )
+    assert info.value.violations[0].invariant == "monotonic-time"
+
+
+def test_negative_gauge_fires():
+    bus, _auditor = _audited_bus()
+    with pytest.raises(InvariantViolationError) as info:
+        bus.publish(_stamp(GaugeSample(gauge="g", value=-1.0)))
+    assert info.value.violations[0].invariant == "gauge-sane"
+
+
+def test_pool_free_list_exceeding_allocs_fires():
+    bus, _auditor = _audited_bus()
+    bus.publish(_stamp(GaugeSample(gauge="pool.event_allocs", value=10.0)))
+    with pytest.raises(InvariantViolationError) as info:
+        bus.publish(_stamp(GaugeSample(gauge="pool.events_free", value=11.0)))
+    assert info.value.violations[0].invariant == "pool-balance"
+
+
+def test_non_strict_auditor_accumulates_instead_of_raising():
+    bus, auditor = _audited_bus(strict=False)
+    bus.publish(_stamp(GaugeSample(gauge="g", value=-1.0)))
+    bus.publish(_stamp(GaugeSample(gauge="h", value=-2.0)))
+    assert len(auditor.violations) == 2
+    with pytest.raises(InvariantViolationError):
+        auditor.raise_if_violated()
+    assert "2 violation(s)" in auditor.render()
+
+
+def test_report_parity_detects_counter_drift():
+    bus, auditor = _audited_bus(strict=False)
+    bus.publish(_stamp(CacheStored(store="s", cid="c", size_bytes=1, pinned=False)))
+    # A collector that (incorrectly) claims two insertions.
+    violations = auditor.check_report_parity({"cache.insertions": 2})
+    assert violations
+    assert violations[0].invariant == "report-parity"
+    assert "cache.insertions" in violations[0].detail
+
+
+def test_report_parity_passes_on_honest_collector():
+    sim = Simulator()
+    sim.probe.run_id = "r"
+    collector = _collected(sim)
+    auditor = InvariantAuditor(strict=True).attach(sim.probe.bus)
+    sim.probe.emit(CacheStored(store="s", cid="c", size_bytes=1, pinned=False))
+    assert auditor.check_report_parity(collector.report()) == []
+
+
+def test_detach_stops_auditing():
+    bus, auditor = _audited_bus()
+    auditor.detach()
+    bus_active_events = auditor.events_audited
+    # After detach the bus has no subscribers; publishing is a no-op
+    # for the auditor even if something else re-activates the bus.
+    bus.subscribe_all(lambda stamped: None)
+    bus.publish(_stamp(GaugeSample(gauge="g", value=-1.0)))
+    assert auditor.events_audited == bus_active_events
+    assert auditor.ok
+
+
+# ---------------------------------------------------------------------------
+# Fault injection through the real stack
+# ---------------------------------------------------------------------------
+
+
+def test_injected_cache_fault_is_caught_in_a_real_scenario():
+    """Deliberately corrupt a live run's cache accounting mid-flight:
+    the auditor must fire with the store named in the report."""
+    from repro.experiments.scenario import TestbedScenario
+
+    scenario = TestbedScenario(params=PARAMS, seed=0)
+    scenario.sim.probe.run_id = "fault"
+    _collected(scenario.sim)
+    auditor = InvariantAuditor(strict=False).attach(scenario.sim.probe.bus)
+    install_flight_recorder(scenario, period=0.5)
+    store = scenario.edges[0].store
+
+    def corrupt():
+        yield scenario.sim.timeout(1.0)
+        # Phantom eviction: the event stream claims bytes left the
+        # store that were never stored.
+        scenario.sim.probe.emit(
+            CacheEvicted(store=store.name, cid="phantom", size_bytes=999)
+        )
+
+    scenario.sim.process(corrupt())
+    scenario.sim.run(until=3.0)
+    assert not auditor.ok
+    assert any(
+        v.invariant == "cache-conservation" and store.name in v.detail
+        for v in auditor.violations
+    )

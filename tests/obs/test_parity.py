@@ -13,9 +13,13 @@ PARAMS = MicrobenchParams(file_size=4 * MB, chunk_size=1 * MB, packet_loss=0.05)
 
 @pytest.fixture(scope="module")
 def traced_run(tmp_path_factory):
+    # gauges + audit ride along: every parity run is continuously
+    # checked against the conservation invariants (a strict auditor
+    # raises at the first violation) at zero extra test cost.
     trace = tmp_path_factory.mktemp("obs") / "softstage.jsonl"
     result = run_download(
-        "softstage", params=PARAMS, seed=0, trace_path=str(trace)
+        "softstage", params=PARAMS, seed=0, trace_path=str(trace),
+        gauges=True, audit=True,
     )
     return result
 
@@ -47,6 +51,35 @@ def test_coordinator_and_staging_counters_are_consistent(traced_run):
 def test_replay_report_is_identical_to_live_report(traced_run):
     replayed = replay_trace(traced_run.trace_path)
     assert replayed.report() == traced_run.metrics.report()
+
+
+def test_live_run_passes_the_invariant_audit(traced_run):
+    auditor = traced_run.auditor
+    assert auditor is not None and auditor.ok
+    assert auditor.events_audited > 0
+    # The end-of-run double-entry check already ran inside
+    # run_download; make the pass explicit here.
+    assert auditor.check_report_parity(traced_run.metrics.report()) == []
+
+
+def test_replayed_gauge_timelines_match_live(traced_run):
+    replayed = replay_trace(traced_run.trace_path)
+    live = traced_run.metrics.timelines("gauge.")
+    assert live  # the flight recorder actually sampled
+    assert replayed.timelines("gauge.") == live
+
+
+def test_replayed_trace_passes_the_invariant_audit(traced_run):
+    from repro.obs.bus import EventBus
+    from repro.obs.flight import InvariantAuditor
+    from repro.obs.trace import read_trace
+
+    bus = EventBus()
+    auditor = InvariantAuditor(strict=True).attach(bus)
+    for stamped in read_trace(traced_run.trace_path):
+        bus.publish(stamped)
+    assert auditor.ok
+    assert auditor.events_audited == traced_run.auditor.events_audited
 
 
 def test_uninstrumented_run_attaches_nothing():

@@ -134,11 +134,16 @@ def test_end_to_end_download_is_poison_clean():
 
 
 def test_fixed_seed_parity_with_and_without_recycling():
+    # Both sides run under the strict invariant auditor: recycling
+    # must stay invisible *and* conservation-clean.
     params = MicrobenchParams(file_size=512 * 1024)
-    with_pool = run_download("softstage", params=params, seed=11)
+    with_pool = run_download("softstage", params=params, seed=11, audit=True)
     packet_mod.set_packet_pool(False)
-    without_pool = run_download("softstage", params=params, seed=11)
+    without_pool = run_download(
+        "softstage", params=params, seed=11, audit=True
+    )
 
+    assert with_pool.auditor.ok and without_pool.auditor.ok
     for attr in ("download_time",):
         assert getattr(with_pool, attr) == getattr(without_pool, attr)
     a, b = with_pool.download, without_pool.download
@@ -151,3 +156,7 @@ def test_fixed_seed_parity_with_and_without_recycling():
         "handoffs",
     ):
         assert getattr(a, attr) == getattr(b, attr), attr
+    # The audited event streams agree event-for-event, too.
+    assert (
+        with_pool.auditor.event_counts == without_pool.auditor.event_counts
+    )
