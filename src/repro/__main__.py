@@ -19,6 +19,9 @@ one multi-run JSONL trace that the ``trace`` subcommands consume.
 and appends each run — gauge timelines included — to the run registry
 (``.repro_runs/``, override with ``REPRO_RUNS_DIR`` or
 ``--registry-dir``); ``--audit`` runs the invariant auditor alongside.
+``demo --policy NAME`` and ``sweep --policy NAME`` select the staging
+policy for the SoftStage runs (``reactive``, ``rich``, ``mobility``,
+``predictive``; see :mod:`repro.core.policy`).
 """
 
 from __future__ import annotations
@@ -38,7 +41,22 @@ from repro.experiments.xia_benchmark import run_all as run_fig5
 from repro.util import MB
 
 
+def _policy_arg(name):
+    """Validate a ``--policy`` value before any simulation runs."""
+    if name is None:
+        return None
+    from repro.core.policy import available_policies
+
+    if name not in available_policies():
+        options = ", ".join(sorted(available_policies()))
+        raise SystemExit(
+            f"unknown staging policy {name!r} (available: {options})"
+        )
+    return name
+
+
 def cmd_demo(args) -> None:
+    policy = _policy_arg(args.policy)
     params = MicrobenchParams(file_size=int(args.file_mb * MB))
     trace_fh = open(args.trace, "w", encoding="utf-8") if args.trace else None
     try:
@@ -51,17 +69,19 @@ def cmd_demo(args) -> None:
             "softstage", params=params, seed=args.seed,
             trace_path=trace_fh, spans=args.spans,
             gauges=args.gauges, audit=args.audit,
+            policy=policy,
         )
     finally:
         if trace_fh is not None:
             trace_fh.close()
+    softstage_label = f"SoftStage[{policy}]" if policy else "SoftStage"
     print(render_table(
         f"{args.file_mb:g} MB download, Table III defaults",
         ("system", "time (s)", "Mbps", "edge chunks"),
         [
             ("Xftp", xftp.download_time,
              xftp.download.throughput_bps / 1e6, 0),
-            ("SoftStage", softstage.download_time,
+            (softstage_label, softstage.download_time,
              softstage.download.throughput_bps / 1e6,
              softstage.download.chunks_from_edge),
         ],
@@ -87,13 +107,19 @@ def cmd_demo(args) -> None:
         meta = {"file_mb": args.file_mb, "seed": args.seed}
         for result in (xftp, softstage):
             run_id, metrics, gauge_tl = record_from_result(result)
-            registry.append(run_id, "demo", metrics, gauge_tl, meta)
+            registry.append(
+                run_id, "demo", metrics, gauge_tl, meta,
+                policy=result.policy,
+            )
+        gain_id = (f"demo-{policy}-seed{args.seed}" if policy
+                   else f"demo-seed{args.seed}")
         gain_record = registry.append(
-            f"demo-seed{args.seed}", "demo",
+            gain_id, "demo",
             {"gain": xftp.download_time / softstage.download_time,
              "xftp_time": xftp.download_time,
              "softstage_time": softstage.download_time},
             meta=meta,
+            policy=softstage.policy,
         )
         print(f"\nregistry: 3 records appended to {registry.path} "
               f"(latest {gain_record.rec_id})")
@@ -110,6 +136,7 @@ def cmd_fig5(args) -> None:
 
 
 def cmd_sweep(args) -> None:
+    policy = _policy_arg(args.policy)
     sweeps = {
         "a": microbench.sweep_chunk_size,
         "b": microbench.sweep_encounter_time,
@@ -129,6 +156,7 @@ def cmd_sweep(args) -> None:
             segment_scale=args.scale,
             trace_sink=trace_fh,
             jobs=args.jobs,
+            policy=policy or "",
         )
         series = sweeps[args.panel](profile)
     finally:
@@ -147,10 +175,13 @@ def cmd_sweep(args) -> None:
             metrics[f"gain.{key}"] = row.gain
             metrics[f"xftp_time.{key}"] = row.xftp_time
             metrics[f"softstage_time.{key}"] = row.softstage_time
+        sweep_id = (f"sweep-{args.panel}-{policy}" if policy
+                    else f"sweep-{args.panel}")
         record = registry.append(
-            f"sweep-{args.panel}", "sweep", metrics,
+            sweep_id, "sweep", metrics,
             meta={"panel": args.panel, "file_mb": args.file_mb,
                   "seeds": args.seeds, "scale": args.scale},
+            policy=policy or "",
         )
         print(f"registry: {record.rec_id} appended to {registry.path}")
 
@@ -494,6 +525,10 @@ def main(argv=None) -> int:
     demo.add_argument("--registry-dir", metavar="DIR",
                       help="registry directory (default .repro_runs, or "
                            "REPRO_RUNS_DIR)")
+    demo.add_argument("--policy", metavar="NAME",
+                      help="staging policy for the SoftStage run "
+                           "(reactive, rich, mobility, predictive; "
+                           "default: reactive Eq. 1)")
     demo.set_defaults(fn=cmd_demo)
 
     fig5 = sub.add_parser("fig5", help="XIA substrate benchmark")
@@ -516,6 +551,9 @@ def main(argv=None) -> int:
     sweep.add_argument("--registry-dir", metavar="DIR",
                        help="registry directory (default .repro_runs, or "
                             "REPRO_RUNS_DIR)")
+    sweep.add_argument("--policy", metavar="NAME",
+                       help="staging policy for the SoftStage runs "
+                            "(reactive, rich, mobility, predictive)")
     sweep.set_defaults(fn=cmd_sweep)
 
     prof = sub.add_parser("profile", help="one profiled download")

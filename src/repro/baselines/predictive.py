@@ -1,23 +1,33 @@
 """EdgeBuffer-style predictive staging (the approach §III-B argues against).
 
 A :class:`MobilityPredictor` guesses which network the client will
-visit next; the :class:`PredictiveStagingClient` pre-stages upcoming
+visit next; :class:`PredictiveStagingPolicy` pre-stages upcoming
 chunks into the *predicted* network's VNF before the client gets
 there.  When the prediction is right this is as good as (or slightly
 better than) reactive staging; when it is wrong, chunks sit in the
 wrong edge cache and must be fetched cross-network or re-staged — the
 fragility the paper's reactive design avoids.  ``accuracy`` sweeps the
 spectrum for the ablation bench.
+
+The policy is a pure :class:`~repro.core.policy.StagingPolicy`: it
+never polls (``decide`` returns nothing) and acts only on the attach
+lifecycle hook, which is exactly the event prediction-driven schemes
+key on.  :class:`PredictiveStagingClient` mounts it on a (non-polling)
+StagingCoordinator and keeps its own sequential download loop.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.core.client import DownloadResult
 from repro.core.config import SoftStageConfig
+from repro.core.coordinator import StagingCoordinator
 from repro.core.handoff import HandoffManager, RssGreedyPolicy
+from repro.core.network_sensor import NetworkSensor
+from repro.core.policy import StagingAction, StagingObservation, StagingPolicy
 from repro.core.profile import ChunkProfile
 from repro.core.states import StagingState
 from repro.core.tracker import StagingTracker
@@ -31,6 +41,17 @@ from repro.xia.dag import DagAddress
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.nodes import Host
     from repro.xcache.publisher import PublishedContent
+
+
+#: Default prediction accuracy for registry-built policies — the
+#: "pretty good but not perfect" regime the ablation bench centres on.
+DEFAULT_PREDICTOR_ACCURACY = 0.7
+
+#: Predictive signals sent toward networks we never reached go stale
+#: slower than reactive ones: the scheme *expects* confirmations to
+#: arrive only after the client moves (the pre-framework baseline's
+#: hardcoded 5.0 s timeout).
+PREDICTIVE_SIGNAL_TIMEOUT = 5.0
 
 
 class MobilityPredictor:
@@ -69,6 +90,50 @@ class MobilityPredictor:
         return others[self.rng.randrange(len(others))]
 
 
+class PredictiveStagingPolicy(StagingPolicy):
+    """Stage a fixed window into wherever the predictor points.
+
+    On every association it asks the predictor which network comes
+    *after* this one, forgets stale requests (signals sent toward a
+    network the client never reached), and stages the next
+    ``stage_window`` chunks there.  Between attaches it does nothing —
+    prediction-driven staging has no reactive feedback loop, which is
+    precisely the contrast with :class:`ReactiveEq1Policy`.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self, predictor: MobilityPredictor, stage_window: int = 8
+    ) -> None:
+        self.predictor = predictor
+        self.stage_window = stage_window
+
+    def decide(self, obs: StagingObservation) -> list[StagingAction]:
+        return []
+
+    def on_attach(
+        self, obs: StagingObservation, network: str
+    ) -> list[StagingAction]:
+        # On every join, pre-stage the upcoming window into the network
+        # the predictor says comes *after* this one.
+        predicted = self.predictor.predict_next(network)
+        actions: list[StagingAction] = []
+        if obs.stale_cids:
+            actions.append(StagingAction.cancel(obs.stale_cids))
+        actions.append(
+            StagingAction.stage(
+                self.stage_window,
+                target=predicted.name,
+                label=f"predict:{predicted.name}",
+            )
+        )
+        return actions
+
+    def prestage_count(self, obs: StagingObservation) -> int:
+        return self.stage_window
+
+
 class PredictiveStagingClient:
     """Downloads with prediction-driven (rather than reactive) staging."""
 
@@ -87,7 +152,10 @@ class PredictiveStagingClient:
         self.host = host
         self.endpoint = endpoint
         self.controller = controller
-        self.config = config or SoftStageConfig()
+        self.config = dataclasses.replace(
+            config or SoftStageConfig(),
+            staging_signal_timeout=PREDICTIVE_SIGNAL_TIMEOUT,
+        )
         self.predictor = predictor
         self.stage_window = stage_window
         self.profile = ChunkProfile(ewma_alpha=self.config.ewma_alpha)
@@ -98,39 +166,28 @@ class PredictiveStagingClient:
         self.fetcher = ChunkFetcher(
             sim, endpoint, wait_for_connectivity=controller.wait_attached
         )
+        # Transport migration runs before the policy's attach hook (the
+        # coordinator registers its relay below), matching the old
+        # migrate-then-predict order.
         controller.on_attach(self._on_attach)
+        self.policy = PredictiveStagingPolicy(predictor, stage_window)
+        self.sensor = NetworkSensor(sim, scanner, controller)
+        # Never started: the policy is entirely event-driven, so the
+        # coordinator serves purely as its observation builder and
+        # action executor.
+        self.coordinator = StagingCoordinator(
+            sim, self.profile, self.tracker, self.sensor, self.config,
+            policy=self.policy,
+        )
         self.wrong_network_fetches = 0
         self.chunks_from_edge = 0
         self.chunks_from_origin = 0
 
-    # -- prediction-driven staging ---------------------------------------------
+    # -- mobility plumbing -------------------------------------------------------
 
     def _on_attach(self, association: Association) -> None:
         new_dag = DagAddress.host(self.host.hid, association.ap.nid)
         self.endpoint.migrate_receivers(new_dag)
-        # On every join, pre-stage the upcoming window into the network
-        # the predictor says comes *after* this one.
-        predicted = self.predictor.predict_next(association.ap.name)
-        self._stage_into(predicted)
-
-    def _vnf_address(self, info: AccessPointInfo) -> Optional[DagAddress]:
-        if info.vnf_sid is None or info.cache_hid is None:
-            return None
-        return DagAddress.service(info.vnf_sid, info.nid, info.cache_hid)
-
-    def _stage_into(self, info: AccessPointInfo) -> None:
-        if not self.controller.is_associated:
-            return  # signals need connectivity
-        vnf = self._vnf_address(info)
-        if vnf is None:
-            return
-        # Requests whose confirmations never arrived (sent toward a
-        # network we never reached, or lost in the air) are re-issued.
-        for record in self.profile.stale_pending(self.sim.now, timeout=5.0):
-            record.staging_state = StagingState.BLANK
-        records = self.profile.next_to_stage(self.stage_window)
-        if records:
-            self.tracker.signal(records, vnf, label=f"predict:{info.name}")
 
     # -- download ----------------------------------------------------------------
 

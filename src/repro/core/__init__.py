@@ -24,28 +24,49 @@ assembles the whole thing behind a one-call download API.
 from repro.core.config import SoftStageConfig
 from repro.core.states import FetchState, StagingState
 from repro.core.profile import ChunkProfile, ChunkRecord
+from repro.core.policy import (
+    ActionKind,
+    MobilityAwarePolicy,
+    ReactiveEq1Policy,
+    RichPrefetchPolicy,
+    StagingAction,
+    StagingObservation,
+    StagingPolicy,
+    available_policies,
+    make_policy,
+)
 from repro.core.coordinator import StagingCoordinator
 from repro.core.tracker import StagingTracker
 from repro.core.network_sensor import NetworkSensor
 from repro.core.handoff import ChunkAwarePolicy, HandoffManager, RssGreedyPolicy
 from repro.core.chunk_manager import ChunkManager
 from repro.core.manager import StagingManager
-from repro.core.vnf import StagingVNF
+from repro.core.vnf import StagingVNF, vnf_address
 from repro.core.client import SoftStageClient
 
 __all__ = [
+    "ActionKind",
     "ChunkAwarePolicy",
     "ChunkManager",
     "ChunkProfile",
     "ChunkRecord",
     "FetchState",
     "HandoffManager",
+    "MobilityAwarePolicy",
     "NetworkSensor",
+    "ReactiveEq1Policy",
+    "RichPrefetchPolicy",
     "RssGreedyPolicy",
     "SoftStageClient",
     "SoftStageConfig",
+    "StagingAction",
     "StagingCoordinator",
     "StagingManager",
+    "StagingObservation",
+    "StagingPolicy",
     "StagingTracker",
     "StagingVNF",
+    "available_policies",
+    "make_policy",
+    "vnf_address",
 ]

@@ -13,7 +13,7 @@ migrations whenever the client re-attaches.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.core.config import SoftStageConfig
 from repro.core.handoff import HandoffManager
@@ -44,6 +44,7 @@ class ChunkManager:
         controller: AssociationController,
         config: Optional[SoftStageConfig] = None,
         handoff_manager: Optional[HandoffManager] = None,
+        chunk_delivered: Optional[Callable[[XID], None]] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -52,6 +53,8 @@ class ChunkManager:
         self.controller = controller
         self.config = config or SoftStageConfig()
         self.handoff_manager = handoff_manager
+        #: Notified after every delivered chunk (policy lifecycle hook).
+        self.chunk_delivered = chunk_delivered
         self.fetcher = ChunkFetcher(
             sim, endpoint, wait_for_connectivity=controller.wait_attached
         )
@@ -142,6 +145,8 @@ class ChunkManager:
                     fallback=fell_back,
                 )
             )
+        if self.chunk_delivered is not None:
+            self.chunk_delivered(record.cid)
 
     def __repr__(self) -> str:
         return (

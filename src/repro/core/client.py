@@ -15,6 +15,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.core.config import SoftStageConfig
 from repro.core.handoff import HandoffPolicy
 from repro.core.manager import StagingManager
+from repro.core.policy import StagingPolicy
 from repro.mobility.association import AssociationController
 from repro.mobility.scanner import Scanner
 from repro.sim import Simulator
@@ -69,6 +70,7 @@ class SoftStageClient:
         scanner: Scanner,
         config: Optional[SoftStageConfig] = None,
         handoff_policy: Optional[HandoffPolicy] = None,
+        staging_policy: Optional[StagingPolicy] = None,
     ) -> None:
         self.sim = sim
         self.manager = StagingManager(
@@ -79,6 +81,7 @@ class SoftStageClient:
             scanner,
             config=config,
             handoff_policy=handoff_policy,
+            staging_policy=staging_policy,
         )
 
     def download(self, content: "PublishedContent", deadline: Optional[float] = None):

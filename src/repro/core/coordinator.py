@@ -1,36 +1,55 @@
-"""The Staging Coordinator: the reactive "Just-in-Time" algorithm.
+"""The Staging Coordinator: observation builder + policy driver.
 
-The paper's Eq. 1 keeps the staged-ahead count N at the break-even
-point where draining the staged buffer takes exactly as long as
-staging one more chunk:
+Historically this class *was* the reactive "Just-in-Time" algorithm
+(the paper's Eq. 1).  That algorithm now lives in
+:class:`~repro.core.policy.ReactiveEq1Policy`; the coordinator's job is
+the mechanical half of every staging strategy:
 
-    stage immediately while   N < (RTT_C,Edge + L_S->Edge) / L_Edge->C
+- build a :class:`~repro.core.policy.StagingObservation` from the
+  Chunk Profile, the Network Sensor and the client host (the same
+  state the flight recorder samples);
+- ask the configured :class:`~repro.core.policy.StagingPolicy` to
+  :meth:`~repro.core.policy.StagingPolicy.decide` once per poll, and
+  relay attach / detach / chunk-delivered events to the policy's
+  lifecycle hooks;
+- execute the returned :class:`~repro.core.policy.StagingAction`
+  requests against the Staging Tracker (stage / re-signal / cancel /
+  migrate / pin), resolving network names to staging-VNF DAGs and
+  dropping actions aimed at networks without one — the same
+  fault-tolerance path a policy-free client has.
 
-On top of that minimum the coordinator signals a *gap allowance*:
-enough additional chunks that the VNF's staging pipeline keeps running
-through a coverage gap of the length the client has actually been
-observing (an EWMA over measured disconnections — reactive adaptation,
-never mobility prediction).  Slow Internet inflates ``L_S->Edge`` and
-therefore both terms, which is exactly the paper's "aggressively stage
-more chunks when the Internet bandwidth is detected slow" behaviour.
+With the default policy the decision sequence, signal labels and
+packet timeline are bit-identical to the pre-framework coordinator:
+fixed-seed runs reproduce exactly.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.core.config import SoftStageConfig
 from repro.core.network_sensor import NetworkSensor
+from repro.core.policy import (
+    ActionKind,
+    ReactiveEq1Policy,
+    StagingAction,
+    StagingObservation,
+    StagingPolicy,
+)
 from repro.core.profile import ChunkProfile
-from repro.core.states import StagingState
+from repro.core.states import FetchState, StagingState
 from repro.core.tracker import StagingTracker
+from repro.core.vnf import vnf_address
 from repro.obs.events import CoordinatorTick
 from repro.sim import Simulator
+from repro.xia.dag import DagAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xia.ids import XID
 
 
 class StagingCoordinator:
-    """Polls the profile and decides how many chunks to signal."""
+    """Polls the profile and drives a StagingPolicy's decisions."""
 
     def __init__(
         self,
@@ -39,47 +58,148 @@ class StagingCoordinator:
         tracker: StagingTracker,
         sensor: NetworkSensor,
         config: Optional[SoftStageConfig] = None,
+        policy: Optional[StagingPolicy] = None,
     ) -> None:
         self.sim = sim
         self.profile = profile
         self.tracker = tracker
         self.sensor = sensor
         self.config = config or SoftStageConfig()
+        self.policy = policy or ReactiveEq1Policy(self.config)
+        #: Reference Eq. 1 arithmetic, kept available whatever policy
+        #: runs (the legacy query methods below delegate to it).
+        self._eq1 = (
+            self.policy
+            if isinstance(self.policy, ReactiveEq1Policy)
+            else ReactiveEq1Policy(self.config)
+        )
         self.ticks = 0
         self.decisions = 0
         self._running = False
+        # Relay association events to the policy's lifecycle hooks.
+        # Policies whose hooks return nothing cost the run nothing.
+        controller = getattr(self.sensor, "controller", None)
+        if controller is not None:
+            controller.on_attach(self._on_attach)
+            controller.on_detach(self._on_detach)
 
-    # -- the staging algorithm ------------------------------------------------
+    # -- observation building -------------------------------------------------
+
+    def observe(self) -> StagingObservation:
+        """Snapshot the staging world for one policy decision.
+
+        Pure state reads — building an observation never perturbs the
+        simulation, so fixed-seed runs are identical no matter how
+        often (or from which policy) this is called.
+        """
+        profile = self.profile
+        now = self.sim.now
+
+        controller = getattr(self.sensor, "controller", None)
+        current = controller.current if controller is not None else None
+        if current is not None:
+            connected = True
+            current_network = current.ap.name
+            time_in_network = now - current.since
+        else:
+            # Test doubles without a controller: infer connectivity
+            # from VNF reachability, which is all Eq. 1 needs.
+            connected = (
+                controller is None
+                and self.sensor.current_vnf_address() is not None
+            )
+            current_network = None
+            time_in_network = 0.0
+
+        if controller is not None:
+            infos = controller.access_points
+            known = tuple(infos)
+            with_vnf = frozenset(
+                name for name, info in infos.items()
+                if vnf_address(info) is not None
+            )
+        else:
+            known = ()
+            with_vnf = frozenset()
+
+        visible = tuple(
+            (v.name, v.rss)
+            for v in getattr(self.sensor, "last_scan", ())
+        )
+
+        total = len(profile)
+        fetched = 0
+        unsignalled = 0
+        in_flight = []
+        for record in profile.records():
+            if record.fetch_state is FetchState.DONE:
+                fetched += 1
+            elif record.staging_state is StagingState.BLANK:
+                unsignalled += 1
+            if record.staging_state is StagingState.PENDING:
+                in_flight.append(record.cid)
+
+        stale = profile.stale_pending(now, self.config.staging_signal_timeout)
+
+        host = getattr(self.tracker, "host", None)
+        queue_bytes = 0
+        for port in getattr(host, "ports", ()):
+            link = port.link
+            if link is not None:
+                queue_bytes += link.forward.queued_bytes
+                queue_bytes += link.backward.queued_bytes
+
+        return StagingObservation(
+            now=now,
+            connected=connected,
+            current_network=current_network,
+            time_in_network=time_in_network,
+            vnf_available=self.sensor.current_vnf_address() is not None,
+            known_networks=known,
+            networks_with_vnf=with_vnf,
+            visible_networks=visible,
+            total_chunks=total,
+            fetched_chunks=fetched,
+            staged_ahead=profile.staged_ahead(),
+            pending_staging=profile.pending_staging(),
+            unsignalled_chunks=unsignalled,
+            lead_bytes=profile.staged_ahead_bytes(),
+            progress_bytes=profile.fetched_bytes(),
+            link_queue_bytes=queue_bytes,
+            rtt_to_edge=profile.rtt_to_edge.value,
+            staging_latency=profile.staging_latency.value,
+            edge_fetch_latency=profile.edge_fetch_latency.value,
+            staging_latency_samples=profile.staging_latency.samples,
+            observed_gap=self.sensor.expected_gap(None),
+            observed_encounter=self._observed_encounter(),
+            stale_cids=tuple(record.cid for record in stale),
+            in_flight_cids=frozenset(in_flight),
+        )
+
+    def _observed_encounter(self) -> Optional[float]:
+        estimator = getattr(self.sensor, "encounter_duration", None)
+        return estimator.value if estimator is not None else None
+
+    # -- legacy staging-algorithm queries --------------------------------------
+    # The Eq. 1 arithmetic, exposed where callers and tests historically
+    # found it.  Always the *reference* reactive math (same config), even
+    # when a different policy is driving decisions.
 
     def eq1_threshold(self) -> float:
         """The paper's Eq. 1 right-hand side from current estimates."""
-        config = self.config
-        rtt = self.profile.rtt_to_edge.value_or(config.default_rtt)
-        stage_latency = self.profile.staging_latency.value_or(
-            config.default_staging_latency
-        )
-        fetch_latency = self.profile.edge_fetch_latency.value_or(
-            config.default_fetch_latency
-        )
-        return (rtt + stage_latency) / max(fetch_latency, 1e-6)
+        return self._eq1.eq1_threshold(self.observe())
 
     def gap_allowance(self) -> int:
         """Extra chunks signalled so staging survives a coverage gap."""
-        config = self.config
-        gap = self.sensor.expected_gap(config.initial_gap_estimate)
-        stage_latency = self.profile.staging_latency.value_or(
-            config.default_staging_latency
-        )
-        return math.ceil(gap / max(stage_latency, 1e-3))
+        return self._eq1.gap_allowance(self.observe())
 
     def target_signalled(self) -> int:
         """How many unfetched chunks should be READY or PENDING."""
-        if self.profile.staging_latency.samples == 0:
-            # Nothing confirmed yet: open with the configured burst.
-            base = self.config.initial_stage_count
-        else:
-            base = math.ceil(self.eq1_threshold())
-        return min(base + self.gap_allowance(), self.config.max_stage_ahead)
+        return self._eq1.target_signalled(self.observe())
+
+    def prestage_count(self) -> int:
+        """How many chunks the *active* policy pre-stages on handoff."""
+        return self.policy.prestage_count(self.observe())
 
     # -- poll loop ------------------------------------------------------------
 
@@ -101,32 +221,18 @@ class StagingCoordinator:
         """One coordination round; returns chunks newly signalled."""
         self.ticks += 1
         probe = self.sim.probe
-        vnf = self.sensor.current_vnf_address()
-        if vnf is None:
+        if self.sensor.current_vnf_address() is None:
             if probe.active:
                 probe.emit(
                     CoordinatorTick(signalled=0, decision=False, offline=True)
                 )
             return 0  # offline, or no VNF here (fault-tolerance path)
 
-        signalled = 0
-        decided = False
-        # Re-signal staging requests whose confirmations never arrived
-        # (lost on the wireless segment or sent while we were away).
-        stale = self.profile.stale_pending(
-            self.sim.now, self.config.staging_signal_timeout
-        )
-        if stale:
-            signalled += self.tracker.signal(stale, vnf, label="re-signal")
-
-        outstanding = self.profile.staged_ahead() + self.profile.pending_staging()
-        deficit = self.target_signalled() - outstanding
-        if deficit > 0:
-            fresh = self.profile.next_to_stage(deficit)
-            if fresh:
-                self.decisions += 1
-                decided = True
-                signalled += self.tracker.signal(fresh, vnf, label="eq1")
+        observation = self.observe()
+        actions = self.policy.decide(observation)
+        signalled, decided = self._execute(actions)
+        if decided:
+            self.decisions += 1
         if probe.active:
             probe.emit(
                 CoordinatorTick(
@@ -135,5 +241,124 @@ class StagingCoordinator:
             )
         return signalled
 
+    # -- lifecycle hook relays --------------------------------------------------
+
+    def _on_attach(self, association) -> None:
+        self._run_hook(
+            self.policy.on_attach(self.observe(), association.ap.name)
+        )
+
+    def _on_detach(self, association) -> None:
+        self._run_hook(
+            self.policy.on_detach(self.observe(), association.ap.name)
+        )
+
+    def notify_chunk_delivered(self, cid: "XID") -> None:
+        """Called by the Chunk Manager after each chunk reaches the app."""
+        self._run_hook(self.policy.on_chunk_delivered(self.observe(), cid))
+
+    def _run_hook(self, actions: list[StagingAction]) -> None:
+        if not actions:
+            return
+        _, decided = self._execute(actions)
+        if decided:
+            self.decisions += 1
+
+    # -- action execution -------------------------------------------------------
+
+    def _resolve_target(self, target: Optional[str]) -> Optional[DagAddress]:
+        """Staging-VNF DAG for a network name (None = current network)."""
+        if target is None:
+            return self.sensor.current_vnf_address()
+        controller = getattr(self.sensor, "controller", None)
+        if controller is None:
+            return None
+        return vnf_address(controller.access_points.get(target))
+
+    def _execute(self, actions: list[StagingAction]) -> tuple[int, bool]:
+        """Run a policy's action list; returns (signalled, decided)."""
+        signalled = 0
+        decided = False
+        for action in actions:
+            if action.kind is ActionKind.STAGE:
+                vnf = self._resolve_target(action.target)
+                if vnf is None:
+                    continue
+                records = self.profile.next_to_stage(action.count)
+                if records:
+                    decided = True
+                    signalled += self.tracker.signal(
+                        records, vnf, label=action.label or "stage"
+                    )
+            elif action.kind is ActionKind.RESIGNAL:
+                vnf = self._resolve_target(action.target)
+                if vnf is None:
+                    continue
+                records = self._pending_records(action.cids)
+                if records:
+                    signalled += self.tracker.signal(
+                        records, vnf, label=action.label or "re-signal"
+                    )
+            elif action.kind is ActionKind.CANCEL:
+                for record in self._pending_records(action.cids):
+                    record.staging_state = StagingState.BLANK
+                    record.staging_requested_at = None
+            elif action.kind is ActionKind.MIGRATE:
+                vnf = self._resolve_target(action.target)
+                if vnf is None:
+                    continue
+                records = [
+                    record
+                    for record in self._records_for(action.cids)
+                    if record.staging_state is StagingState.READY
+                ]
+                if records:
+                    decided = True
+                    signalled += self.tracker.signal(
+                        records,
+                        vnf,
+                        label=action.label or "migrate",
+                        restage=True,
+                    )
+            elif action.kind is ActionKind.PIN:
+                signalled += self._pin(action)
+        return signalled, decided
+
+    def _pin(self, action: StagingAction) -> int:
+        """Re-signal READY chunks to the VNF holding them, so the edge
+        cache refreshes (and keeps) their pinned entries."""
+        controller = getattr(self.sensor, "controller", None)
+        if controller is None:
+            return 0
+        by_nid = {
+            info.nid: info for info in controller.access_points.values()
+        }
+        signalled = 0
+        for record in self._records_for(action.cids):
+            if record.staging_state is not StagingState.READY:
+                continue
+            if record.location is None:
+                continue
+            vnf = vnf_address(by_nid.get(record.location[0]))
+            if vnf is None:
+                continue
+            signalled += self.tracker.signal(
+                [record], vnf, label=action.label or "pin", restage=True
+            )
+        return signalled
+
+    def _records_for(self, cids) -> list:
+        return [self.profile.get(cid) for cid in cids if cid in self.profile]
+
+    def _pending_records(self, cids) -> list:
+        return [
+            record
+            for record in self._records_for(cids)
+            if record.staging_state is StagingState.PENDING
+        ]
+
     def __repr__(self) -> str:
-        return f"<StagingCoordinator ticks={self.ticks} decisions={self.decisions}>"
+        return (
+            f"<StagingCoordinator policy={self.policy.name} "
+            f"ticks={self.ticks} decisions={self.decisions}>"
+        )

@@ -8,7 +8,6 @@ the small surface the application (SoftStageClient) drives.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.chunk_manager import ChunkManager
@@ -16,6 +15,7 @@ from repro.core.config import SoftStageConfig
 from repro.core.coordinator import StagingCoordinator
 from repro.core.handoff import ChunkAwarePolicy, HandoffManager, HandoffPolicy
 from repro.core.network_sensor import NetworkSensor
+from repro.core.policy import StagingPolicy
 from repro.core.profile import ChunkProfile
 from repro.core.tracker import StagingTracker
 from repro.mobility.association import AssociationController
@@ -41,6 +41,7 @@ class StagingManager:
         scanner: Scanner,
         config: Optional[SoftStageConfig] = None,
         handoff_policy: Optional[HandoffPolicy] = None,
+        staging_policy: Optional[StagingPolicy] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -49,7 +50,8 @@ class StagingManager:
         self.tracker = StagingTracker(sim, host, self.profile)
         self.sensor = NetworkSensor(sim, scanner, controller)
         self.coordinator = StagingCoordinator(
-            sim, self.profile, self.tracker, self.sensor, self.config
+            sim, self.profile, self.tracker, self.sensor, self.config,
+            policy=staging_policy,
         )
         self.handoff_manager = HandoffManager(
             sim,
@@ -67,6 +69,7 @@ class StagingManager:
             controller,
             config=self.config,
             handoff_manager=self.handoff_manager,
+            chunk_delivered=self.coordinator.notify_chunk_delivered,
         )
         self.prestage_signals = 0
 
@@ -91,10 +94,7 @@ class StagingManager:
         vnf = self.sensor.vnf_address_of(target)
         if vnf is None:
             return
-        count = max(
-            math.ceil(self.coordinator.eq1_threshold()),
-            self.config.initial_stage_count,
-        )
+        count = self.coordinator.prestage_count()
         records = self.profile.next_to_stage(count)
         if records:
             self.prestage_signals += 1

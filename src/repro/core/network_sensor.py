@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.profile import EwmaEstimator
+from repro.core.vnf import vnf_address
 from repro.mobility.association import Association, AssociationController
 from repro.mobility.scanner import Scanner, VisibleNetwork
 from repro.obs.events import CoverageGap, EncounterEnded
@@ -72,10 +73,7 @@ class NetworkSensor:
 
     def vnf_address_of(self, visible_or_info) -> Optional[DagAddress]:
         """Service DAG of an edge network's staging VNF, if advertised."""
-        info = getattr(visible_or_info, "ap", visible_or_info)
-        if info.vnf_sid is None or info.cache_hid is None:
-            return None
-        return DagAddress.service(info.vnf_sid, info.nid, info.cache_hid)
+        return vnf_address(visible_or_info)
 
     def current_vnf_address(self) -> Optional[DagAddress]:
         """The staging VNF of the currently-joined network (None when

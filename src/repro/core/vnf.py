@@ -35,6 +35,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.xia.router import XIARouter
 
 
+def vnf_address(info) -> Optional[DagAddress]:
+    """Service DAG of an edge network's staging VNF, if advertised.
+
+    Accepts an :class:`~repro.mobility.association.AccessPointInfo`, a
+    scan-result wrapper carrying one as ``.ap``, or ``None``; returns
+    ``None`` when the network advertises no VNF (the fault-tolerance
+    path).  The one place NetJoin payload fields become a service DAG —
+    used by the Network Sensor, the staging-action executor and the
+    baselines alike.
+    """
+    info = getattr(info, "ap", info)
+    if info is None or info.vnf_sid is None or info.cache_hid is None:
+        return None
+    return DagAddress.service(info.vnf_sid, info.nid, info.cache_hid)
+
+
 class StagingVNF:
     """Edge-network staging executor, registered as an XIA service."""
 
@@ -84,7 +100,9 @@ class StagingVNF:
     def _handle_one(self, cid: XID, raw_dag: DagAddress, reply_to: DagAddress) -> None:
         if self.store.has(cid):
             # Already staged (possibly for another client, or a re-sent
-            # signal after the first answer was lost): answer at once.
+            # signal after the first answer was lost): answer at once,
+            # refreshing the pin so eviction spares it (PIN actions).
+            self.store.pin(cid)
             self._announce(cid, reply_to, self._staged_latency.get(cid, 0.0))
             return
         waiters = self._in_flight.get(cid)

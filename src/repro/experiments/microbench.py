@@ -39,6 +39,9 @@ class BenchProfile:
     #: forces the sequential path: a shared open sink cannot cross
     #: process boundaries.
     jobs: int = 1
+    #: Staging-policy registry name for the SoftStage runs ("" = the
+    #: default reactive Eq. 1 behaviour and historical run ids).
+    policy: str = ""
 
     @classmethod
     def from_env(cls) -> "BenchProfile":
@@ -68,6 +71,8 @@ def measure_point(
     """(mean Xftp time, mean SoftStage time) at one parameter point."""
     params = params.with_(file_size=profile.file_size)
     trace = profile.trace_sink
+    staging = profile.policy
+    softstage_id = f"softstage-{staging}" if staging else "softstage"
     xftp_times, softstage_times = [], []
     for seed in profile.seeds:
         xftp = run_download(
@@ -79,7 +84,8 @@ def measure_point(
         softstage = run_download(
             "softstage", params=params, seed=seed,
             segment_scale=profile.segment_scale, handoff_policy=policy,
-            trace_path=trace, run_id=f"{run_prefix}softstage-seed{seed}",
+            trace_path=trace, run_id=f"{run_prefix}{softstage_id}-seed{seed}",
+            policy=staging or None,
         )
         xftp_times.append(xftp.download_time)
         softstage_times.append(softstage.download_time)
@@ -132,6 +138,11 @@ def _sweep_parallel(
                         params=point_params,
                         seed=seed,
                         segment_scale=profile.segment_scale,
+                        policy=(
+                            profile.policy or None
+                            if system == "softstage"
+                            else None
+                        ),
                     )
                 )
     summaries = iter(run_tasks(tasks, jobs=profile.jobs))

@@ -45,8 +45,13 @@ class SweepTask:
     params: MicrobenchParams
     seed: int
     segment_scale: int = 1
+    #: Staging-policy registry name ("" / None = system default).
+    #: A name rather than a policy object keeps the task picklable.
+    policy: Optional[str] = None
 
     def label(self) -> str:
+        if self.policy:
+            return f"{self.system}-{self.policy}-seed{self.seed}"
         return f"{self.system}-seed{self.seed}"
 
 
@@ -70,16 +75,23 @@ class RunSummary:
     fallbacks: int
     handoffs: int
     staging_signals: int
+    policy: str = ""
     wall_seconds: float = field(compare=False, default=0.0)
 
     def as_record(self) -> tuple[str, dict]:
         """``(run_id, metrics)`` in run-registry shape.
 
         The same identity scheme as :func:`repro.experiments.runner.
-        run_download` (``{system}-seed{seed}``), so sweep records and
-        instrumented single runs diff against each other.
+        run_download` (``{system}-seed{seed}``, with the policy name
+        infixed when one was set), so sweep records and instrumented
+        single runs diff against each other.
         """
-        return f"{self.system}-seed{self.seed}", {
+        run_id = (
+            f"{self.system}-{self.policy}-seed{self.seed}"
+            if self.policy
+            else f"{self.system}-seed{self.seed}"
+        )
+        return run_id, {
             "download_time": self.download_time,
             "bytes_received": self.bytes_received,
             "chunks_completed": self.chunks_completed,
@@ -101,6 +113,7 @@ def execute_task(task: SweepTask) -> RunSummary:
         params=task.params,
         seed=task.seed,
         segment_scale=task.segment_scale,
+        policy=task.policy or None,
     )
     download = result.download
     return RunSummary(
@@ -114,6 +127,7 @@ def execute_task(task: SweepTask) -> RunSummary:
         fallbacks=download.fallbacks,
         handoffs=download.handoffs,
         staging_signals=download.staging_signals,
+        policy=result.policy,
         wall_seconds=time.perf_counter() - started,
     )
 

@@ -16,6 +16,7 @@ from typing import IO, Optional, Union
 
 from repro.core.client import DownloadResult
 from repro.core.handoff import HandoffPolicy
+from repro.core.policy import StagingPolicy, make_policy, policy_name
 from repro.errors import ConfigurationError
 from repro.experiments.params import MicrobenchParams
 from repro.experiments.scenario import TestbedScenario
@@ -43,6 +44,9 @@ class ExperimentResult:
     download_time: float
     #: The run identity stamped on every trace event of this run.
     run_id: str = ""
+    #: Registry name of the staging policy driving the run ("" = the
+    #: system's built-in behaviour, i.e. reactive Eq. 1 for softstage).
+    policy: str = ""
     #: Bus-fed collector (only when the run was instrumented).
     metrics: Optional[MetricsCollector] = field(default=None, repr=False)
     #: JSONL trace location (only when ``trace_path`` was a path).
@@ -89,12 +93,22 @@ def run_download(
     audit: bool = False,
     gauge_period: float = DEFAULT_PERIOD,
     run_id: Optional[str] = None,
+    policy: Optional[Union[str, StagingPolicy]] = None,
 ) -> ExperimentResult:
     """Build a fresh testbed and run one full download.
 
-    ``system`` is ``"softstage"`` or ``"xftp"``.  ``segment_scale`` > 1
-    runs the transport in coarse-grained segment mode (see
+    ``system`` is ``"softstage"``, ``"xftp"`` or ``"endtoend"`` (the
+    host-based single-stream baseline, which forces single-chunk
+    publishing).  ``segment_scale`` > 1 runs the transport in
+    coarse-grained segment mode (see
     :meth:`repro.transport.config.TransportConfig.scaled`).
+
+    ``policy`` (softstage only) selects the staging policy: a registry
+    name (``"reactive"``, ``"rich"``, ``"mobility"``, ``"predictive"``)
+    or a :class:`~repro.core.policy.StagingPolicy` instance.  ``None``
+    keeps the default reactive Eq. 1 behaviour and the historical
+    ``"{system}-seed{seed}"`` run identity; a named policy extends it
+    to ``"{system}-{policy}-seed{seed}"``.
 
     ``instrument=True`` subscribes a :class:`MetricsCollector` to the
     run's event bus and returns it on the result; ``trace_path``
@@ -122,6 +136,15 @@ def run_download(
     """
     from repro.transport.config import XIA_CHUNK
 
+    if policy is not None and system != "softstage":
+        raise ConfigurationError(
+            f"staging policies only apply to the softstage system, not {system!r}"
+        )
+    if system == "endtoend":
+        # The end-to-end baseline is a single uninterrupted stream:
+        # publish the whole object as one chunk.
+        params = params or MicrobenchParams()
+        params = params.with_(chunk_size=params.file_size)
     scenario = TestbedScenario(
         params=params,
         seed=seed,
@@ -130,7 +153,18 @@ def run_download(
         with_vnf=with_vnf,
         transport_config=XIA_CHUNK.scaled(segment_scale),
     )
-    run_id = run_id or f"{system}-seed{seed}"
+    staging_policy: Optional[StagingPolicy] = None
+    if isinstance(policy, str):
+        staging_policy = make_policy(
+            policy, scenario.softstage_config, scenario
+        )
+    elif policy is not None:
+        staging_policy = policy
+    pname = policy_name(staging_policy)
+    if run_id is None:
+        run_id = (
+            f"{system}-{pname}-seed{seed}" if pname else f"{system}-seed{seed}"
+        )
     scenario.sim.probe.run_id = run_id
     collector: Optional[MetricsCollector] = None
     exporter: Optional[TraceExporter] = None
@@ -151,9 +185,14 @@ def run_download(
     try:
         content = scenario.publish_default_content()
         if system == "softstage":
-            client = scenario.make_softstage_client(handoff_policy=handoff_policy)
+            client = scenario.make_softstage_client(
+                handoff_policy=handoff_policy,
+                staging_policy=staging_policy,
+            )
         elif system == "xftp":
             client = scenario.make_xftp_client()
+        elif system == "endtoend":
+            client = scenario.make_endtoend_client()
         else:
             raise ConfigurationError(f"unknown system {system!r}")
         if gauges:
@@ -164,7 +203,17 @@ def run_download(
                 manager=getattr(client, "manager", None),
                 period=gauge_period,
             )
-        process = scenario.sim.process(client.download(content, deadline=deadline))
+        if system == "endtoend":
+            if deadline is not None:
+                raise ConfigurationError(
+                    "the endtoend baseline streams one session; deadlines "
+                    "are not supported"
+                )
+            process = scenario.sim.process(client.download(content))
+        else:
+            process = scenario.sim.process(
+                client.download(content, deadline=deadline)
+            )
         download: DownloadResult = scenario.sim.run(until=process)
     finally:
         if exporter is not None:
@@ -181,6 +230,7 @@ def run_download(
         download=download,
         download_time=download.duration,
         run_id=run_id,
+        policy=pname,
         metrics=collector,
         trace_path=exporter.path if exporter is not None else None,
         spans=builder.finish() if builder is not None else None,

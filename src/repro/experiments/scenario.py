@@ -28,6 +28,7 @@ from repro.apps.server import ContentServer
 from repro.core.client import SoftStageClient
 from repro.core.config import SoftStageConfig
 from repro.core.handoff import HandoffPolicy
+from repro.core.policy import StagingPolicy
 from repro.core.vnf import StagingVNF
 from repro.errors import ConfigurationError
 from repro.experiments import calibration
@@ -277,7 +278,9 @@ class TestbedScenario:
         self._client_made = True
 
     def make_softstage_client(
-        self, handoff_policy: Optional[HandoffPolicy] = None
+        self,
+        handoff_policy: Optional[HandoffPolicy] = None,
+        staging_policy: Optional[StagingPolicy] = None,
     ) -> SoftStageClient:
         self._claim_client()
         client = SoftStageClient(
@@ -288,6 +291,7 @@ class TestbedScenario:
             self.scanner,
             config=self.softstage_config,
             handoff_policy=handoff_policy,
+            staging_policy=staging_policy,
         )
         self.scanner.start()
         return client

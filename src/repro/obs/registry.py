@@ -74,6 +74,9 @@ class RunRecord:
     recorded_at: str
     git_sha: str
     machine: str
+    #: Staging policy that produced the run ("" = system default —
+    #: pre-policy-framework records load with this default).
+    policy: str = ""
     metrics: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
@@ -84,7 +87,7 @@ class RunRecord:
     def from_json(cls, payload: dict) -> "RunRecord":
         known = {
             "rec_id", "run_id", "kind", "recorded_at", "git_sha",
-            "machine", "metrics", "gauges", "meta",
+            "machine", "policy", "metrics", "gauges", "meta",
         }
         return cls(
             rec_id=str(payload.get("rec_id", "")),
@@ -93,6 +96,7 @@ class RunRecord:
             recorded_at=str(payload.get("recorded_at", "")),
             git_sha=str(payload.get("git_sha", "unknown")),
             machine=str(payload.get("machine", "")),
+            policy=str(payload.get("policy", "")),
             metrics=dict(payload.get("metrics", {})),
             gauges=dict(payload.get("gauges", {})),
             meta=dict(payload.get("meta", {})),
@@ -108,6 +112,7 @@ class RunRecord:
             recorded_at=self.recorded_at,
             git_sha=self.git_sha,
             machine=self.machine,
+            policy=self.policy,
             metrics=self.metrics,
             gauges=self.gauges,
             meta=self.meta,
@@ -148,6 +153,7 @@ class RunRegistry:
         metrics: dict,
         gauges: Optional[dict] = None,
         meta: Optional[dict] = None,
+        policy: str = "",
     ) -> RunRecord:
         """Append one record; assigns a unique ``rec_id`` and returns it."""
         os.makedirs(self.directory, exist_ok=True)
@@ -159,6 +165,7 @@ class RunRegistry:
             recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             git_sha=git_sha(),
             machine=perf.fingerprint(),
+            policy=policy,
             metrics=dict(metrics),
             gauges=dict(gauges or {}),
             meta=dict(meta or {}),
