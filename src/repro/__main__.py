@@ -9,9 +9,13 @@ Commands:
 - ``traces``    — the Fig. 7 trace-driven experiment;
 - ``profile``   — one profiled download (kernel hot-path table);
 - ``trace``     — JSONL trace analysis (``summary`` / ``spans`` /
-  ``chrome`` / ``diff``);
+  ``chrome`` / ``diff`` / ``wide``);
 - ``runs``      — the persistent run registry (``list`` / ``show`` /
-  ``diff`` / ``gauges``).
+  ``diff`` / ``gauges``, with ``--json`` on list/diff);
+- ``serve``     — the telemetry HTTP service over the registry
+  (``/runs``, ``/diff``, ``/live`` SSE);
+- ``watch``     — the live terminal dashboard against a ``serve``
+  process's ``/live`` stream.
 
 ``demo`` and ``sweep`` take ``--trace PATH`` to record every run into
 one multi-run JSONL trace that the ``trace`` subcommands consume.
@@ -19,6 +23,10 @@ one multi-run JSONL trace that the ``trace`` subcommands consume.
 and appends each run — gauge timelines included — to the run registry
 (``.repro_runs/``, override with ``REPRO_RUNS_DIR`` or
 ``--registry-dir``); ``--audit`` runs the invariant auditor alongside.
+``demo --emit-wide [PATH]`` writes one wide event per chunk lifecycle
+/ encounter / gap / handoff (``repro trace wide`` derives the same
+bytes from a recorded trace); ``demo --live`` repaints the terminal
+dashboard from an in-process telemetry hub while the demo runs.
 ``demo --policy NAME`` and ``sweep --policy NAME`` select the staging
 policy for the SoftStage runs (``reactive``, ``rich``, ``mobility``,
 ``predictive``; see :mod:`repro.core.policy`).
@@ -55,25 +63,113 @@ def _policy_arg(name):
     return name
 
 
-def cmd_demo(args) -> None:
-    policy = _policy_arg(args.policy)
-    params = MicrobenchParams(file_size=int(args.file_mb * MB))
-    trace_fh = open(args.trace, "w", encoding="utf-8") if args.trace else None
+def _demo_pair(
+    file_mb, seed, policy,
+    trace=None, spans=False, gauges=False, audit=False,
+    hub=None, wide=None,
+):
+    """Run the demo's Xftp + SoftStage pair with shared telemetry sinks.
+
+    ``trace`` (a path) and ``wide`` (an open
+    :class:`~repro.obs.wide.WideEventWriter`) are shared across both
+    runs, producing one multi-run file each; ``hub`` receives both
+    runs' live telemetry.  Used by ``demo`` (foreground and --live)
+    and ``serve --demo``.
+    """
+    params = MicrobenchParams(file_size=int(file_mb * MB))
+    trace_fh = open(trace, "w", encoding="utf-8") if trace else None
     try:
         xftp = run_download(
-            "xftp", params=params, seed=args.seed,
-            trace_path=trace_fh, spans=args.spans,
-            gauges=args.gauges, audit=args.audit,
+            "xftp", params=params, seed=seed,
+            trace_path=trace_fh, spans=spans,
+            gauges=gauges, audit=audit, hub=hub, wide=wide,
         )
         softstage = run_download(
-            "softstage", params=params, seed=args.seed,
-            trace_path=trace_fh, spans=args.spans,
-            gauges=args.gauges, audit=args.audit,
+            "softstage", params=params, seed=seed,
+            trace_path=trace_fh, spans=spans,
+            gauges=gauges, audit=audit, hub=hub, wide=wide,
             policy=policy,
         )
     finally:
         if trace_fh is not None:
             trace_fh.close()
+    return xftp, softstage
+
+
+def _demo_wide_writer(args, policy):
+    """The demo's wide-event writer (or None).
+
+    ``--emit-wide`` with no PATH lands in the registry's wide-event
+    directory (``<registry>/wide/demo[-policy]-seed<N>.jsonl``) —
+    exactly where ``repro serve`` looks for ``/runs/<id>/wide``.
+    """
+    import os
+
+    from repro.obs.registry import RunRegistry
+    from repro.obs.wide import WideEventWriter
+
+    if args.emit_wide is None:
+        return None
+    path = args.emit_wide
+    if path == "":
+        wide_dir = os.path.join(
+            RunRegistry(args.registry_dir).directory, "wide"
+        )
+        os.makedirs(wide_dir, exist_ok=True)
+        name = (f"demo-{policy}-seed{args.seed}" if policy
+                else f"demo-seed{args.seed}")
+        path = os.path.join(wide_dir, f"{name}.jsonl")
+    return WideEventWriter(path)
+
+
+def cmd_demo(args) -> None:
+    policy = _policy_arg(args.policy)
+    wide_writer = _demo_wide_writer(args, policy)
+    gauges = args.gauges or args.live
+    try:
+        if args.live:
+            import threading
+
+            from repro.obs.dashboard import run_from_subscription
+            from repro.obs.stream import TelemetryHub
+
+            hub = TelemetryHub()
+            sub = hub.subscribe()
+            outcome: dict = {}
+
+            def _work() -> None:
+                try:
+                    outcome["runs"] = _demo_pair(
+                        args.file_mb, args.seed, policy,
+                        trace=args.trace, spans=args.spans,
+                        gauges=gauges, audit=args.audit,
+                        hub=hub, wide=wide_writer,
+                    )
+                except BaseException as exc:  # repaint loop must end
+                    outcome["error"] = exc
+                finally:
+                    hub.close()
+
+            worker = threading.Thread(
+                target=_work, name="repro-demo", daemon=True
+            )
+            worker.start()
+            run_from_subscription(sub, clear=sys.stdout.isatty())
+            worker.join()
+            print()
+            if "error" in outcome:
+                raise outcome["error"]
+            xftp, softstage = outcome["runs"]
+        else:
+            xftp, softstage = _demo_pair(
+                args.file_mb, args.seed, policy,
+                trace=args.trace, spans=args.spans,
+                gauges=gauges, audit=args.audit,
+                wide=wide_writer,
+            )
+    finally:
+        if wide_writer is not None:
+            wide_writer.close()
     softstage_label = f"SoftStage[{policy}]" if policy else "SoftStage"
     print(render_table(
         f"{args.file_mb:g} MB download, Table III defaults",
@@ -100,6 +196,9 @@ def cmd_demo(args) -> None:
     if args.trace:
         print(f"\ntrace written to {args.trace} "
               f"(runs: {xftp.run_id}, {softstage.run_id})")
+    if wide_writer is not None:
+        print(f"\n{wide_writer.records_written} wide events written to "
+              f"{wide_writer.path}")
     if args.gauges:
         from repro.obs.registry import RunRegistry, record_from_result
 
@@ -342,6 +441,91 @@ def cmd_trace_diff(args) -> None:
     ))
 
 
+def cmd_trace_wide(args) -> None:
+    from repro.obs.trace import read_trace
+    from repro.obs.wide import derive_wide, wide_json
+
+    if args.output:
+        from repro.obs.wide import WideEventWriter
+
+        with WideEventWriter(args.output) as writer:
+            records = derive_wide(
+                read_trace(args.file), sinks=[writer.write],
+                run_id=args.run,
+            )
+        print(f"wrote {len(records)} wide events to {args.output} "
+              f"(byte-identical to a live --emit-wide run)")
+    else:
+        records = derive_wide(read_trace(args.file), run_id=args.run)
+        for record in records:
+            print(wide_json(record))
+
+
+# -- telemetry service and live dashboard ------------------------------------
+
+
+def cmd_serve(args) -> None:
+    from repro.obs.registry import RunRegistry
+    from repro.obs.server import make_server
+
+    hub = None
+    if args.demo:
+        from repro.obs.stream import TelemetryHub
+
+        hub = TelemetryHub()
+    registry = RunRegistry(args.registry_dir)
+    server = make_server(
+        args.host, args.port, registry, hub=hub, wide_dir=args.wide_dir,
+    )
+    print(f"serving registry {registry.path} on {server.url}")
+    print("endpoints: /runs /runs/<key> /runs/<key>/gauges "
+          "/runs/<key>/wide /diff?a=&b= /live /healthz")
+    if args.demo:
+        import threading
+
+        policy = _policy_arg(args.policy)
+
+        def _demo() -> None:
+            try:
+                _demo_pair(
+                    args.file_mb, args.seed, policy,
+                    gauges=True, hub=hub,
+                )
+            finally:
+                hub.close()
+
+        threading.Thread(
+            target=_demo, name="repro-serve-demo", daemon=True
+        ).start()
+        print(f"live demo started ({args.file_mb:g} MB, seed {args.seed}) "
+              f"— stream it from {server.url}/live")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def cmd_watch(args) -> None:
+    from urllib.request import urlopen
+
+    from repro.obs.dashboard import run_from_sse
+
+    url = args.url.rstrip("/")
+    if not url.endswith("/live"):
+        url += "/live"
+    with urlopen(url) as response:
+        dash = run_from_sse(
+            response,
+            clear=sys.stdout.isatty(),
+            max_events=args.max_events,
+        )
+    print()
+    print(f"stream ended: {dash.items_seen} items, "
+          f"{dash.wide_seen} wide events")
+
+
 # -- run registry ------------------------------------------------------------
 
 
@@ -377,6 +561,11 @@ def _headline(metrics: dict) -> str:
 
 def cmd_runs_list(args) -> None:
     registry = _registry(args)
+    if args.json:
+        from repro.obs.registry import list_payload
+
+        print(json.dumps(list_payload(registry), indent=2, sort_keys=True))
+        return
     records = registry.records()
     if not records:
         print(f"no records in {registry.path}")
@@ -420,6 +609,14 @@ def cmd_runs_diff(args) -> None:
     record_a = _find_record(registry, args.run_a)
     record_b = _find_record(registry, args.run_b)
     deltas = diff_records(record_a, record_b)
+    if args.json:
+        from repro.obs.registry import diff_payload
+
+        payload = diff_payload(record_a, record_b, deltas)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        if payload["regressions"] and args.fail_on_regression:
+            raise SystemExit(1)
+        return
     if not deltas:
         print(f"records {record_a.rec_id} and {record_b.rec_id} share "
               f"no numeric metrics")
@@ -448,20 +645,9 @@ def cmd_runs_diff(args) -> None:
         print("\nno gain regressions")
 
 
-_SPARK = "▁▂▃▄▅▆▇█"
-
-
-def _sparkline(values: list) -> str:
-    if not values:
-        return ""
-    lo, hi = min(values), max(values)
-    if hi == lo:
-        return _SPARK[0] * len(values)
-    scale = (len(_SPARK) - 1) / (hi - lo)
-    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
-
-
 def cmd_runs_gauges(args) -> None:
+    from repro.obs.dashboard import sparkline as _sparkline
+
     registry = _registry(args)
     record = _find_record(registry, args.run)
     series = (record.gauge_series(args.metric) if args.metric
@@ -529,6 +715,15 @@ def main(argv=None) -> int:
                       help="staging policy for the SoftStage run "
                            "(reactive, rich, mobility, predictive; "
                            "default: reactive Eq. 1)")
+    demo.add_argument("--emit-wide", metavar="PATH", nargs="?", const="",
+                      help="write wide events (one record per chunk "
+                           "lifecycle/encounter/gap/handoff) as JSONL; "
+                           "no PATH = <registry>/wide/<run>.jsonl, where "
+                           "`repro serve` finds them")
+    demo.add_argument("--live", action="store_true",
+                      help="repaint the live terminal dashboard from an "
+                           "in-process telemetry hub (implies gauge "
+                           "sampling; metrics stay bit-identical)")
     demo.set_defaults(fn=cmd_demo)
 
     fig5 = sub.add_parser("fig5", help="XIA substrate benchmark")
@@ -597,6 +792,16 @@ def main(argv=None) -> int:
     tdiff.add_argument("--run-b", help="run id in the second trace")
     tdiff.set_defaults(fn=cmd_trace_diff)
 
+    twide = tsub.add_parser(
+        "wide", help="derive wide events from a trace (byte-identical "
+                     "to a live --emit-wide run)"
+    )
+    twide.add_argument("file")
+    twide.add_argument("-o", "--output", metavar="PATH",
+                       help="write JSONL here instead of stdout")
+    twide.add_argument("--run", help="restrict to one run id")
+    twide.set_defaults(fn=cmd_trace_wide)
+
     runs = sub.add_parser("runs", help="the persistent run registry")
     runs.add_argument("--registry-dir", metavar="DIR",
                       help="registry directory (default .repro_runs, or "
@@ -604,6 +809,9 @@ def main(argv=None) -> int:
     rsub = runs.add_subparsers(dest="runs_command", required=True)
 
     rlist = rsub.add_parser("list", help="all registry records")
+    rlist.add_argument("--json", action="store_true",
+                       help="emit the registry listing as JSON (the same "
+                            "serialization the HTTP /runs endpoint uses)")
     rlist.set_defaults(fn=cmd_runs_list)
 
     rshow = rsub.add_parser("show", help="one record in full")
@@ -618,6 +826,9 @@ def main(argv=None) -> int:
     rdiff.add_argument("--fail-on-regression", action="store_true",
                        help="exit 1 when a gain metric regresses past the "
                             "paper-shape threshold")
+    rdiff.add_argument("--json", action="store_true",
+                       help="emit the diff as JSON (the same serialization "
+                            "the HTTP /diff endpoint uses)")
     rdiff.set_defaults(fn=cmd_runs_diff)
 
     rgauges = rsub.add_parser("gauges", help="render a record's gauge timelines")
@@ -628,6 +839,37 @@ def main(argv=None) -> int:
     rgauges.add_argument("--csv", action="store_true",
                          help="emit gauge,t,value CSV instead of sparklines")
     rgauges.set_defaults(fn=cmd_runs_gauges)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP telemetry service over the run registry"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8008)
+    serve.add_argument("--registry-dir", metavar="DIR",
+                       help="registry directory (default .repro_runs, or "
+                            "REPRO_RUNS_DIR)")
+    serve.add_argument("--wide-dir", metavar="DIR",
+                       help="wide-event JSONL directory served at "
+                            "/runs/<key>/wide (default <registry>/wide)")
+    serve.add_argument("--demo", action="store_true",
+                       help="also run one live demo on a background thread "
+                            "so /live has traffic to stream")
+    serve.add_argument("--file-mb", type=float, default=32.0,
+                       help="--demo download size")
+    serve.add_argument("--seed", type=int, default=0, help="--demo seed")
+    serve.add_argument("--policy", metavar="NAME",
+                       help="--demo staging policy")
+    serve.set_defaults(fn=cmd_serve)
+
+    watch = sub.add_parser(
+        "watch", help="live dashboard over a serve process's /live stream"
+    )
+    watch.add_argument("url", help="server base URL (or /live URL) from "
+                                   "`python -m repro serve`")
+    watch.add_argument("--max-events", type=int, metavar="N",
+                       help="stop after N SSE events (default: stream "
+                            "until the run ends)")
+    watch.set_defaults(fn=cmd_watch)
 
     handoff = sub.add_parser("handoff", help="handoff-policy comparison")
     handoff.add_argument("--file-mb", type=float, default=48.0)

@@ -132,10 +132,31 @@ def execute_task(task: SweepTask) -> RunSummary:
     )
 
 
+def publish_summary(hub, summary: RunSummary) -> None:
+    """Forward one finished run to a telemetry hub as a ``run`` item.
+
+    Workers are separate processes and cannot share a hub; the parent
+    is the single writer, forwarding each :class:`RunSummary` as
+    ``pool.map`` yields it (task order), so live consumers see the
+    same deterministic sequence a sequential sweep produces.
+    """
+    run_id, metrics = summary.as_record()
+    hub.publish("run", {
+        "run": run_id,
+        "state": "finished",
+        "system": summary.system,
+        "policy": summary.policy,
+        "seed": summary.seed,
+        "wall_seconds": summary.wall_seconds,
+        **metrics,
+    })
+
+
 def run_tasks(
     tasks: Sequence[SweepTask],
     jobs: int = 1,
     chunksize: int = 1,
+    hub=None,
 ) -> list[RunSummary]:
     """Execute ``tasks``, in order, on up to ``jobs`` processes.
 
@@ -145,17 +166,33 @@ def run_tasks(
     :class:`~concurrent.futures.BrokenExecutor`) falls back to the
     sequential path; exceptions raised *by a task* propagate in both
     modes.
+
+    ``hub`` (a :class:`~repro.obs.stream.TelemetryHub`) receives one
+    ``run`` item per completed task via :func:`publish_summary` — the
+    parent forwards as results stream back, in task order, in both
+    the pooled and sequential modes.
     """
+    summaries: list[RunSummary] = []
+
+    def _collect(stream) -> list[RunSummary]:
+        for summary in stream:
+            if hub is not None:
+                publish_summary(hub, summary)
+            summaries.append(summary)
+        return summaries
+
     if jobs <= 1 or len(tasks) < 2:
-        return [execute_task(task) for task in tasks]
+        return _collect(execute_task(task) for task in tasks)
     workers = min(jobs, len(tasks))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_task, tasks, chunksize=chunksize))
+            return _collect(pool.map(execute_task, tasks, chunksize=chunksize))
     except (OSError, BrokenExecutor):
         # Pool infrastructure failed (fork limits, dead worker...):
-        # same results, one process.
-        return [execute_task(task) for task in tasks]
+        # same results, one process.  Don't double-publish tasks that
+        # already streamed back before the pool died.
+        already = len(summaries)
+        return _collect(execute_task(task) for task in tasks[already:])
 
 
 def mean_times(

@@ -29,7 +29,9 @@ from repro.obs.flight import (
     install_flight_recorder,
 )
 from repro.obs.spans import Span, SpanBuilder
+from repro.obs.stream import GaugeFeed, TelemetryHub
 from repro.obs.trace import TraceExporter
+from repro.obs.wide import WideEventBuilder, WideEventWriter
 from repro.sim.profiler import SimProfiler
 
 
@@ -59,6 +61,8 @@ class ExperimentResult:
     sampler: Optional[GaugeSampler] = field(default=None, repr=False)
     #: The invariant auditor, already parity-checked (``audit=True``).
     auditor: Optional[InvariantAuditor] = field(default=None, repr=False)
+    #: Wide-event records emitted live (``wide=``/``hub=`` set).
+    wide_records: Optional[list[dict]] = field(default=None, repr=False)
 
     @property
     def throughput_bps(self) -> float:
@@ -94,6 +98,8 @@ def run_download(
     gauge_period: float = DEFAULT_PERIOD,
     run_id: Optional[str] = None,
     policy: Optional[Union[str, StagingPolicy]] = None,
+    hub: Optional[TelemetryHub] = None,
+    wide: Optional[Union[str, IO[str], WideEventWriter]] = None,
 ) -> ExperimentResult:
     """Build a fresh testbed and run one full download.
 
@@ -128,6 +134,17 @@ def run_download(
     :class:`~repro.obs.flight.InvariantViolationError` at the first
     conservation violation.  Both are off by default and cost nothing
     when off.
+
+    ``wide`` (a path, open file or :class:`WideEventWriter`) attaches
+    a :class:`~repro.obs.wide.WideEventBuilder` and writes one wide
+    event per chunk/encounter/gap/handoff as JSONL — byte-identical to
+    what ``repro trace wide`` derives from this run's trace offline.
+    ``hub`` fans the run's live telemetry out to a
+    :class:`~repro.obs.stream.TelemetryHub`: gauge samples (when
+    ``gauges=True``), wide events, and ``run`` started/finished
+    markers.  Hub delivery never blocks — slow subscribers drop (with
+    counters) instead of perturbing the run, so fixed-seed results
+    stay bit-identical with subscribers attached.
 
     Every run gets a distinct identity — ``run_id`` or the derived
     ``"{system}-seed{seed}"`` — stamped on each trace event, so runs
@@ -172,6 +189,11 @@ def run_download(
     profiler: Optional[SimProfiler] = None
     sampler: Optional[GaugeSampler] = None
     auditor: Optional[InvariantAuditor] = None
+    wide_builder: Optional[WideEventBuilder] = None
+    wide_writer: Optional[WideEventWriter] = None
+    owns_wide_writer = False
+    gauge_feed: Optional[GaugeFeed] = None
+    wide_records: Optional[list[dict]] = None
     if instrument or trace_path is not None or gauges or audit:
         collector = MetricsCollector(scenario.sim).attach(scenario.sim.probe.bus)
         if trace_path is not None:
@@ -182,6 +204,26 @@ def run_download(
         profiler = SimProfiler(scenario.sim).install()
     if audit:
         auditor = InvariantAuditor(strict=True).attach(scenario.sim.probe.bus)
+    if wide is not None or hub is not None:
+        wide_records = []
+        sinks = [wide_records.append]
+        if wide is not None:
+            if isinstance(wide, WideEventWriter):
+                wide_writer = wide
+            else:
+                wide_writer = WideEventWriter(wide)
+                owns_wide_writer = wide_writer.path is not None
+            sinks.append(wide_writer.write)
+        if hub is not None:
+            sinks.append(lambda record: hub.publish("wide", record))
+        wide_builder = WideEventBuilder(run_id=run_id, sinks=sinks)
+        wide_builder.attach(scenario.sim.probe.bus)
+    if hub is not None:
+        gauge_feed = GaugeFeed(hub).attach(scenario.sim.probe.bus)
+        hub.publish("run", {
+            "run": run_id, "state": "started",
+            "system": system, "policy": pname, "seed": seed,
+        })
     try:
         content = scenario.publish_default_content()
         if system == "softstage":
@@ -222,6 +264,25 @@ def run_download(
             profiler.uninstall()
         if auditor is not None:
             auditor.detach()
+        if gauge_feed is not None:
+            gauge_feed.detach()
+        if wide_builder is not None:
+            wide_builder.detach()
+    if wide_builder is not None:
+        # Emit the run-summary wide record (post-run, like the live
+        # trace's last events) before anything reads the output.
+        wide_builder.finish()
+        if wide_writer is not None and owns_wide_writer:
+            wide_writer.close()
+    if hub is not None:
+        hub.publish("run", {
+            "run": run_id, "state": "finished",
+            "system": system, "policy": pname, "seed": seed,
+            "download_time": download.duration,
+            "throughput_bps": download.throughput_bps,
+            "chunks_completed": download.chunks_completed,
+            "chunks_from_edge": download.chunks_from_edge,
+        })
     if auditor is not None and collector is not None:
         auditor.check_report_parity(collector.report())
     return ExperimentResult(
@@ -237,6 +298,7 @@ def run_download(
         profile=profiler,
         sampler=sampler,
         auditor=auditor,
+        wide_records=wide_records,
     )
 
 

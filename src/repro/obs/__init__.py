@@ -15,7 +15,16 @@ Consumers subscribe by event type:
 - the flight recorder (:mod:`repro.obs.flight`) samples state gauges
   into the event stream and audits it against conservation invariants;
 - the run registry (:mod:`repro.obs.registry`) persists per-run
-  summaries and gauge timelines for cross-run diffing.
+  summaries and gauge timelines for cross-run diffing;
+- the wide-event layer (:mod:`repro.obs.wide`) folds events, spans
+  and gauges into one context-complete record per chunk lifecycle,
+  identically live and offline;
+- the telemetry hub (:mod:`repro.obs.stream`) fans gauge samples and
+  wide events out to bounded, never-blocking subscriber queues;
+- the HTTP service (:mod:`repro.obs.server`) exposes the registry,
+  the ``/diff`` regression gate and a ``/live`` SSE stream;
+- the terminal dashboard (:mod:`repro.obs.dashboard`) renders live
+  gauge sparklines and a wide-event tail from either source.
 
 With no subscribers attached the bus is zero-cost: publishers check
 ``probe.active`` (a plain attribute read) before constructing events.
@@ -35,10 +44,21 @@ from repro.obs.flight import (
 )
 from repro.obs.registry import RunRecord, RunRegistry, diff_records
 from repro.obs.spans import Span, SpanBuilder, build_spans, render_summary, summarize_spans
+from repro.obs.stream import GaugeFeed, TelemetryHub, TelemetrySubscription
+from repro.obs.wide import (
+    WIDE_SCHEMA_VERSION,
+    WideEventBuilder,
+    WideEventStream,
+    WideEventWriter,
+    derive_wide,
+    read_wide,
+    wide_json,
+)
 
 __all__ = [
     "EVENT_TYPES",
     "EventBus",
+    "GaugeFeed",
     "GaugeSampler",
     "InvariantAuditor",
     "InvariantViolation",
@@ -50,13 +70,22 @@ __all__ = [
     "Span",
     "SpanBuilder",
     "Stamped",
+    "TelemetryHub",
+    "TelemetrySubscription",
     "TraceExporter",
+    "WIDE_SCHEMA_VERSION",
+    "WideEventBuilder",
+    "WideEventStream",
+    "WideEventWriter",
     "build_spans",
+    "derive_wide",
     "diff_records",
     "events",
     "install_flight_recorder",
     "read_trace",
+    "read_wide",
     "render_summary",
     "replay_trace",
     "summarize_spans",
+    "wide_json",
 ]

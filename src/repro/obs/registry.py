@@ -30,6 +30,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+try:  # advisory append locking (POSIX; no-op where unavailable)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
 from repro import perf
 
 #: Default registry directory (override with ``REPRO_RUNS_DIR``).
@@ -155,24 +160,47 @@ class RunRegistry:
         meta: Optional[dict] = None,
         policy: str = "",
     ) -> RunRecord:
-        """Append one record; assigns a unique ``rec_id`` and returns it."""
+        """Append one record; assigns a unique ``rec_id`` and returns it.
+
+        Appends are serialized across concurrent writers (parallel
+        sweep workers, a live HTTP service, several CLIs sharing one
+        registry) with an advisory ``fcntl`` lock held across the
+        sequence-number read *and* the write, so records never tear
+        into unparseable lines and ``rec_id`` sequence numbers stay
+        unique.  On platforms without ``fcntl`` the append degrades to
+        the historical unlocked single-writer behaviour.
+        """
         os.makedirs(self.directory, exist_ok=True)
-        seq = sum(1 for _ in self._lines()) + 1
-        record = RunRecord(
-            rec_id=f"{seq:04d}/{run_id}",
-            run_id=run_id,
-            kind=kind,
-            recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            git_sha=git_sha(),
-            machine=perf.fingerprint(),
-            policy=policy,
-            metrics=dict(metrics),
-            gauges=dict(gauges or {}),
-            meta=dict(meta or {}),
-        )
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record.to_json(), separators=(",", ":")))
-            fh.write("\n")
+        with open(self.path, "a+", encoding="utf-8") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.seek(0)
+                seq = sum(1 for line in fh if line.strip()) + 1
+                record = RunRecord(
+                    rec_id=f"{seq:04d}/{run_id}",
+                    run_id=run_id,
+                    kind=kind,
+                    recorded_at=time.strftime(
+                        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                    ),
+                    git_sha=git_sha(),
+                    machine=perf.fingerprint(),
+                    policy=policy,
+                    metrics=dict(metrics),
+                    gauges=dict(gauges or {}),
+                    meta=dict(meta or {}),
+                )
+                # Mode "a" writes always land at EOF, even after the
+                # seek above; one write call keeps the line whole.
+                fh.write(
+                    json.dumps(record.to_json(), separators=(",", ":"))
+                    + "\n"
+                )
+                fh.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
         return record
 
     # -- reading -------------------------------------------------------------
@@ -269,6 +297,68 @@ def diff_records(
 
 def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
     return [delta for delta in deltas if delta.regression]
+
+
+# ---------------------------------------------------------------------------
+# JSON payloads (shared by ``repro runs --json`` and the HTTP service)
+# ---------------------------------------------------------------------------
+
+
+def record_summary(record: RunRecord) -> dict:
+    """The light listing shape: identity + metrics, gauge *names* only.
+
+    One serialization path for ``repro runs list --json`` and the
+    service's ``GET /runs``, so CI scripts never scrape table text.
+    """
+    return {
+        "rec_id": record.rec_id,
+        "run_id": record.run_id,
+        "kind": record.kind,
+        "recorded_at": record.recorded_at,
+        "git_sha": record.git_sha,
+        "machine": record.machine,
+        "policy": record.policy,
+        "metrics": record.metrics,
+        "gauges": sorted(record.gauges),
+        "meta": record.meta,
+    }
+
+
+def list_payload(registry: "RunRegistry") -> dict:
+    """``{"registry": path, "records": [summary, ...]}``."""
+    return {
+        "registry": registry.path,
+        "records": [record_summary(r) for r in registry.records()],
+    }
+
+
+def diff_payload(
+    a: RunRecord,
+    b: RunRecord,
+    deltas: Optional[list[MetricDelta]] = None,
+) -> dict:
+    """The diff in JSON shape, regressions called out separately.
+
+    Shared by ``repro runs diff --json`` and ``GET /diff`` so the CI
+    regression gate and the CLI agree byte-for-byte on what regressed.
+    """
+    if deltas is None:
+        deltas = diff_records(a, b)
+    return {
+        "a": a.rec_id,
+        "b": b.rec_id,
+        "deltas": [
+            {
+                "name": d.name,
+                "a": d.value_a,
+                "b": d.value_b,
+                "ratio": d.ratio,
+                "regression": d.regression,
+            }
+            for d in deltas
+        ],
+        "regressions": [d.name for d in deltas if d.regression],
+    }
 
 
 # ---------------------------------------------------------------------------

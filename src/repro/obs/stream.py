@@ -1,0 +1,234 @@
+"""The telemetry hub: thread-safe fan-out of live run telemetry.
+
+A simulation run is single-threaded and synchronous; live consumers
+(the terminal dashboard, the ``/live`` SSE endpoint) run on other
+threads and must never slow it down or perturb it.  The
+:class:`TelemetryHub` decouples them: producers call
+:meth:`~TelemetryHub.publish` (a lock-free-on-the-hot-path append into
+each subscriber's bounded queue, **never blocking**), and each
+:class:`TelemetrySubscription` drains its own queue at its own pace.
+A subscriber that falls behind loses items — explicitly, with a
+per-subscription ``dropped`` counter surfaced through
+:meth:`TelemetryHub.stats` — rather than ever applying backpressure to
+the simulation.  A fixed-seed run therefore produces bit-identical
+metrics with or without subscribers attached (asserted by the parity
+tests).
+
+Items are ``(topic, payload)`` pairs where ``payload`` is a
+JSON-serialisable dict.  The conventional topics:
+
+``gauge``
+    One flight-recorder sample, forwarded off the event bus by
+    :class:`GaugeFeed`: ``{"run", "t", "gauge", "v"}``.
+``wide``
+    One wide-event record (see :mod:`repro.obs.wide`), forwarded by
+    the builder's hub sink.
+``run``
+    Run lifecycle: ``{"run", "state": "started"|"finished", ...}``
+    published by the experiment runner and the parallel sweep driver.
+
+Attach/detach is safe mid-run: subscription changes take a lock, but
+``publish`` reads a snapshot, so a subscriber appearing or vanishing
+between two events never corrupts delivery.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, Optional
+
+from repro.obs.bus import EventBus, Stamped
+from repro.obs.events import GaugeSample
+
+#: Default bound on a subscription's queue.  Generous enough for a
+#: dashboard refreshing a few times a second against a demo run, small
+#: enough that a stuck consumer cannot hold a run's whole event volume.
+DEFAULT_QUEUE_SIZE = 1024
+
+#: Sentinel delivered to every subscriber when the hub closes.
+_CLOSE = object()
+
+
+class TelemetrySubscription:
+    """One consumer's bounded view of the hub's traffic."""
+
+    def __init__(
+        self,
+        hub: "TelemetryHub",
+        maxsize: int = DEFAULT_QUEUE_SIZE,
+        topics: Optional[set[str]] = None,
+    ) -> None:
+        self._hub = hub
+        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+        #: Restrict delivery to these topics (``None`` = everything).
+        self.topics = set(topics) if topics is not None else None
+        #: Items delivered into the queue.
+        self.received = 0
+        #: Items the hub discarded because this queue was full.
+        self.dropped = 0
+        #: True once the hub's close sentinel has been consumed.
+        self.closed = False
+
+    # -- producer side (hub only) ------------------------------------------
+
+    def _offer(self, item) -> None:
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self.dropped += 1
+        else:
+            if item is not _CLOSE:
+                self.received += 1
+
+    # -- consumer side ------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None):
+        """Next ``(topic, payload)``; ``None`` on timeout or close."""
+        if self.closed:
+            return None
+        try:
+            item = self._queue.get(timeout=timeout) if timeout is not None \
+                else self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        if item is _CLOSE:
+            self.closed = True
+            return None
+        return item
+
+    def drain(self) -> list:
+        """Every currently-queued ``(topic, payload)``, oldest first."""
+        items = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return items
+            if item is _CLOSE:
+                self.closed = True
+                return items
+            items.append(item)
+
+    def __iter__(self) -> Iterator:
+        """Blocking iteration until the hub closes."""
+        while True:
+            item = self.get(timeout=0.5)
+            if item is not None:
+                yield item
+            elif self.closed:
+                return
+
+    def close(self) -> None:
+        """Detach from the hub (idempotent)."""
+        self._hub.unsubscribe(self)
+
+
+class TelemetryHub:
+    """Thread-safe, never-blocking fan-out of telemetry items."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: tuple[TelemetrySubscription, ...] = ()
+        self.published = 0
+        self.closed = False
+
+    # -- subscription management --------------------------------------------
+
+    def subscribe(
+        self,
+        maxsize: int = DEFAULT_QUEUE_SIZE,
+        topics: Optional[set[str]] = None,
+    ) -> TelemetrySubscription:
+        """Attach a new bounded subscriber (safe mid-run)."""
+        sub = TelemetrySubscription(self, maxsize=maxsize, topics=topics)
+        with self._lock:
+            if self.closed:
+                sub._offer(_CLOSE)
+            self._subs = self._subs + (sub,)
+        return sub
+
+    def unsubscribe(self, sub: TelemetrySubscription) -> None:
+        with self._lock:
+            self._subs = tuple(s for s in self._subs if s is not sub)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    # -- traffic -------------------------------------------------------------
+
+    def publish(self, topic: str, payload: dict) -> None:
+        """Offer ``(topic, payload)`` to every subscriber; never blocks."""
+        subs = self._subs  # snapshot: publish never takes the lock
+        if not subs:
+            return
+        self.published += 1
+        item = (topic, payload)
+        for sub in subs:
+            if sub.topics is None or topic in sub.topics:
+                sub._offer(item)
+
+    def close(self) -> None:
+        """Deliver the close sentinel to every subscriber."""
+        with self._lock:
+            self.closed = True
+            subs = self._subs
+        for sub in subs:
+            sub._offer(_CLOSE)
+
+    def stats(self) -> dict:
+        """Publish/drop accounting, per subscriber."""
+        subs = self._subs
+        return {
+            "published": self.published,
+            "subscribers": len(subs),
+            "dropped": sum(s.dropped for s in subs),
+            "queues": [
+                {"received": s.received, "dropped": s.dropped,
+                 "depth": s._queue.qsize()}
+                for s in subs
+            ],
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"<TelemetryHub {state} subs={len(self._subs)} "
+            f"published={self.published}>"
+        )
+
+
+class GaugeFeed:
+    """Bus → hub bridge for flight-recorder gauge samples.
+
+    Subscribes to :class:`~repro.obs.events.GaugeSample` only, so runs
+    without the flight recorder pay nothing extra, and forwards each
+    sample as a ``gauge`` item.  Forwarding is an in-memory queue
+    append — it cannot block or reorder the simulation.
+    """
+
+    def __init__(self, hub: TelemetryHub) -> None:
+        self.hub = hub
+        self.forwarded = 0
+        self._bus: Optional[EventBus] = None
+
+    def attach(self, bus: EventBus) -> "GaugeFeed":
+        self._bus = bus
+        bus.subscribe(GaugeSample, self._on_sample)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(GaugeSample, self._on_sample)
+            self._bus = None
+
+    def _on_sample(self, stamped: Stamped) -> None:
+        event = stamped.event
+        self.forwarded += 1
+        self.hub.publish("gauge", {
+            "run": stamped.run_id,
+            "t": stamped.time,
+            "gauge": event.gauge,
+            "v": event.value,
+        })

@@ -77,6 +77,66 @@ def test_cli_trace_subcommands_end_to_end(tmp_path, capsys):
                  "--run-a", "xftp-seed0", "--run-b", "softstage-seed0"]) == 0
 
 
+def test_cli_emit_wide_matches_offline_trace_wide_byte_for_byte(
+    tmp_path, capsys
+):
+    trace = tmp_path / "demo.jsonl"
+    live = tmp_path / "live-wide.jsonl"
+    offline = tmp_path / "offline-wide.jsonl"
+    assert main([
+        "demo", "--file-mb", "2", "--trace", str(trace),
+        "--emit-wide", str(live),
+    ]) == 0
+    assert "wide events written to" in capsys.readouterr().out
+    assert main(["trace", "wide", str(trace), "-o", str(offline)]) == 0
+    assert "byte-identical" in capsys.readouterr().out
+    assert live.read_bytes() == offline.read_bytes()
+    # Both demo runs landed in the one wide file.
+    import json
+
+    runs = {json.loads(line)["run"] for line in live.read_text().splitlines()}
+    assert runs == {"xftp-seed0", "softstage-seed0"}
+
+
+def test_cli_trace_wide_prints_canonical_jsonl(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "demo.jsonl"
+    main(["demo", "--file-mb", "2", "--trace", str(trace)])
+    capsys.readouterr()
+    assert main(["trace", "wide", str(trace),
+                 "--run", "softstage-seed0"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records and all(r["run"] == "softstage-seed0" for r in records)
+    assert records[-1]["kind"] == "run"
+
+
+def test_cli_demo_emit_wide_defaults_into_the_registry(tmp_path, capsys):
+    assert main([
+        "demo", "--file-mb", "2", "--registry-dir", str(tmp_path),
+        "--emit-wide",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wide events written to" in out
+    wide = tmp_path / "wide" / "demo-seed0.jsonl"
+    assert wide.exists() and wide.read_text().strip()
+
+
+def test_cli_demo_live_renders_the_dashboard(tmp_path, capsys):
+    assert main([
+        "demo", "--file-mb", "2", "--live",
+        "--registry-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    # The repaint loop ran (no TTY -> appended frames, no ANSI clears)
+    # and the ordinary demo summary still printed afterwards.
+    assert "repro live telemetry" in out
+    assert "run softstage-seed0: finished" in out
+    assert "gain" in out
+    assert "\x1b[2J" not in out
+
+
 def test_cli_trace_summary_missing_run_errors(tmp_path, capsys):
     import pytest
 

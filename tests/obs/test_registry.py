@@ -50,6 +50,34 @@ def test_find_exact_then_latest_substring(registry):
         registry.find("nonexistent")
 
 
+def test_concurrent_appends_never_tear_lines(registry):
+    from concurrent.futures import ThreadPoolExecutor
+
+    def _append(worker: int) -> list[str]:
+        return [
+            registry.append(f"w{worker}-r{i}", "demo", {"n": i}).rec_id
+            for i in range(5)
+        ]
+
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        issued = [r for ids in pool.map(_append, range(6)) for r in ids]
+
+    # Every line is whole JSON (no torn writes) ...
+    with open(registry.path, encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    parsed = [json.loads(line) for line in lines]
+    assert len(parsed) == 30
+    # ... every record survived ...
+    assert {r["run_id"] for r in parsed} == {
+        f"w{w}-r{i}" for w in range(6) for i in range(5)
+    }
+    # ... and the locked seq-read+write kept rec_id sequence numbers
+    # unique and dense despite 6 writers racing.
+    seqs = sorted(int(r["rec_id"].split("/")[0]) for r in parsed)
+    assert seqs == list(range(1, 31))
+    assert sorted(issued) == sorted(r["rec_id"] for r in parsed)
+
+
 def test_unknown_keys_round_trip(registry, tmp_path):
     registry.append("r", "demo", {"gain": 1.0})
     # Simulate a newer writer adding a top-level key.
@@ -209,6 +237,44 @@ def test_cli_gauges_sparkline_and_csv(populated_dir, capsys):
     out = capsys.readouterr().out
     assert "gauge,t,value" in out
     assert "staging.lead_bytes,1,4" in out
+
+
+def test_cli_list_json_shares_the_http_serialization(populated_dir, capsys):
+    assert main(
+        ["runs", "--registry-dir", populated_dir, "list", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    from repro.obs.registry import list_payload
+
+    assert payload == json.loads(
+        json.dumps(list_payload(RunRegistry(populated_dir)))
+    )
+    assert [r["rec_id"] for r in payload["records"]] == [
+        "0001/softstage-seed0", "0002/softstage-seed1",
+    ]
+    # The listing carries gauge *names*, not the heavy timelines.
+    assert payload["records"][0]["gauges"] == ["staging.lead_bytes"]
+
+
+def test_cli_diff_json_names_regressions(populated_dir, capsys):
+    assert main(
+        ["runs", "--registry-dir", populated_dir, "diff",
+         "seed0", "seed1", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["a"] == "0001/softstage-seed0"
+    assert payload["regressions"] == ["gain"]
+    gain = next(d for d in payload["deltas"] if d["name"] == "gain")
+    assert gain["regression"] is True and gain["ratio"] < 1.0
+
+
+def test_cli_diff_json_honours_fail_on_regression(populated_dir, capsys):
+    with pytest.raises(SystemExit) as info:
+        main(["runs", "--registry-dir", populated_dir, "diff",
+              "seed0", "seed1", "--json", "--fail-on-regression"])
+    assert info.value.code == 1
+    # The payload still printed before the failing exit.
+    assert json.loads(capsys.readouterr().out)["regressions"] == ["gain"]
 
 
 def test_cli_gauges_unknown_metric_fails(populated_dir):
