@@ -1,0 +1,108 @@
+"""Metric-sketch cost: fold throughput, merge cost, recording overhead.
+
+The fleet story (see DESIGN.md §14) only works if sketches are cheap
+in two places:
+
+- **workers** fold every gauge sample and wide event into
+  fixed-memory sketches while the simulation runs — the fold must be
+  fast enough to leave on (budget: within 15% of an uninstrumented
+  run, measured on a small full-stack download);
+- **the parent** merges one serialized sketch set per run — merging
+  must be far cheaper than the runs themselves (thousands of merges
+  per second).
+
+Quantile answers come from bounded centroids, so accuracy is also
+spot-checked here: after folding 200k values the p50/p99 must land
+within 2% rank error of the exact order statistics.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.experiments.params import MicrobenchParams
+from repro.experiments.runner import run_download
+from repro.obs.sketch import (
+    QuantileSketch,
+    load_sketches,
+    merge_sketch_sets,
+    serialize_sketches,
+)
+from repro.util import MB
+
+#: Deterministic pseudo-random stream (LCG): no ``random`` state, no
+#: seed plumbing, identical on every host.
+def _values(n: int, state: int = 12345):
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        yield state / float(1 << 31)
+
+
+def test_quantile_fold_throughput_and_accuracy(benchmark):
+    n = 200_000
+    values = list(_values(n))
+
+    def fold():
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        return sketch
+
+    sketch = benchmark(fold)
+    exact = sorted(values)
+    for q in (0.5, 0.99):
+        estimate = sketch.quantile(q)
+        rank = sum(1 for v in exact if v <= estimate) / n
+        assert abs(rank - q) <= 0.02, f"p{q:g} rank error {rank - q:+.3f}"
+
+
+def test_merge_cost_is_negligible_next_to_runs(benchmark):
+    shards = []
+    for shard in range(64):
+        sketch = QuantileSketch()
+        for value in _values(4096, state=shard + 1):
+            sketch.add(value)
+        shards.append(serialize_sketches({"wide.fetch_latency": sketch}))
+
+    def merge_all():
+        merged: dict = {}
+        for shard in shards:
+            merge_sketch_sets(merged, load_sketches(shard))
+        return merged
+
+    merged = benchmark(merge_all)
+    assert merged["wide.fetch_latency"].count == 64 * 4096
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def test_sketch_recording_overhead_within_budget(benchmark):
+    params = MicrobenchParams(file_size=2 * MB)
+
+    def run(sketches):
+        return run_download(
+            "softstage", params=params, seed=0, segment_scale=8,
+            sketches=sketches,
+        )
+
+    run(False)  # warm imports/caches outside the timed region
+    plain = _best_of(lambda: run(False))
+    sketched = _best_of(lambda: run(True))
+    overhead = sketched / plain - 1.0
+
+    def report():
+        return plain, sketched
+
+    benchmark.pedantic(report, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"download plain     : {plain:.3f} s")
+    print(f"download +sketches : {sketched:.3f} s  "
+          f"(overhead {overhead:+.1%})")
+    assert overhead <= 0.15, f"sketch overhead {overhead:.1%} exceeds 15%"

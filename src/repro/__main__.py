@@ -66,7 +66,7 @@ def _policy_arg(name):
 def _demo_pair(
     file_mb, seed, policy,
     trace=None, spans=False, gauges=False, audit=False,
-    hub=None, wide=None,
+    hub=None, wide=None, sketches=False,
 ):
     """Run the demo's Xftp + SoftStage pair with shared telemetry sinks.
 
@@ -83,12 +83,13 @@ def _demo_pair(
             "xftp", params=params, seed=seed,
             trace_path=trace_fh, spans=spans,
             gauges=gauges, audit=audit, hub=hub, wide=wide,
+            sketches=sketches,
         )
         softstage = run_download(
             "softstage", params=params, seed=seed,
             trace_path=trace_fh, spans=spans,
             gauges=gauges, audit=audit, hub=hub, wide=wide,
-            policy=policy,
+            policy=policy, sketches=sketches,
         )
     finally:
         if trace_fh is not None:
@@ -144,6 +145,7 @@ def cmd_demo(args) -> None:
                         trace=args.trace, spans=args.spans,
                         gauges=gauges, audit=args.audit,
                         hub=hub, wide=wide_writer,
+                        sketches=args.gauges,
                     )
                 except BaseException as exc:  # repaint loop must end
                     outcome["error"] = exc
@@ -165,7 +167,7 @@ def cmd_demo(args) -> None:
                 args.file_mb, args.seed, policy,
                 trace=args.trace, spans=args.spans,
                 gauges=gauges, audit=args.audit,
-                wide=wide_writer,
+                wide=wide_writer, sketches=args.gauges,
             )
     finally:
         if wide_writer is not None:
@@ -200,7 +202,11 @@ def cmd_demo(args) -> None:
         print(f"\n{wide_writer.records_written} wide events written to "
               f"{wide_writer.path}")
     if args.gauges:
-        from repro.obs.registry import RunRegistry, record_from_result
+        from repro.obs.registry import (
+            RunRegistry,
+            record_from_result,
+            sketches_from_result,
+        )
 
         registry = RunRegistry(args.registry_dir)
         meta = {"file_mb": args.file_mb, "seed": args.seed}
@@ -209,6 +215,7 @@ def cmd_demo(args) -> None:
             registry.append(
                 run_id, "demo", metrics, gauge_tl, meta,
                 policy=result.policy,
+                sketches=sketches_from_result(result),
             )
         gain_id = (f"demo-{policy}-seed{args.seed}" if policy
                    else f"demo-seed{args.seed}")
@@ -464,10 +471,26 @@ def cmd_trace_wide(args) -> None:
 # -- telemetry service and live dashboard ------------------------------------
 
 
+def _handle_sigterm() -> None:
+    """Route SIGTERM through KeyboardInterrupt for one clean shutdown
+    path (no-op off the main thread, where tests drive these
+    commands)."""
+    import signal
+
+    def _graceful(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:  # not the main thread
+        pass
+
+
 def cmd_serve(args) -> None:
     from repro.obs.registry import RunRegistry
     from repro.obs.server import make_server
 
+    _handle_sigterm()
     hub = None
     if args.demo:
         from repro.obs.stream import TelemetryHub
@@ -479,11 +502,18 @@ def cmd_serve(args) -> None:
     )
     print(f"serving registry {registry.path} on {server.url}")
     print("endpoints: /runs /runs/<key> /runs/<key>/gauges "
-          "/runs/<key>/wide /diff?a=&b= /live /healthz")
+          "/runs/<key>/wide /runs/<key>/explain?base= /diff?a=&b= "
+          "/slo /live /healthz")
+    evaluator = None
     if args.demo:
         import threading
 
+        from repro.obs.slo import DEFAULT_SLOS, AlertLog, LiveSLOEvaluator
+
         policy = _policy_arg(args.policy)
+        evaluator = LiveSLOEvaluator(DEFAULT_SLOS).start(
+            hub, AlertLog(registry.directory)
+        )
 
         def _demo() -> None:
             try:
@@ -498,13 +528,24 @@ def cmd_serve(args) -> None:
             target=_demo, name="repro-serve-demo", daemon=True
         ).start()
         print(f"live demo started ({args.file_mb:g} MB, seed {args.seed}) "
-              f"— stream it from {server.url}/live")
+              f"— stream it from {server.url}/live "
+              f"({len(DEFAULT_SLOS)} live SLOs attached)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        # Close the hub first so every /live subscriber gets the SSE
+        # terminal frame before the listening socket goes away, and
+        # wait for them to detach — handler threads are daemons, so
+        # exiting now would kill them mid-frame.
+        if hub is not None:
+            hub.close()
+            hub.wait_closed(timeout=3.0)
+        if evaluator is not None:
+            evaluator.join(timeout=2.0)
         server.server_close()
+    print("\nshut down cleanly")
 
 
 def cmd_watch(args) -> None:
@@ -512,15 +553,23 @@ def cmd_watch(args) -> None:
 
     from repro.obs.dashboard import run_from_sse
 
+    _handle_sigterm()
     url = args.url.rstrip("/")
     if not url.endswith("/live"):
         url += "/live"
-    with urlopen(url) as response:
+    response = urlopen(url)
+    try:
         dash = run_from_sse(
             response,
             clear=sys.stdout.isatty(),
             max_events=args.max_events,
         )
+    except KeyboardInterrupt:
+        print()
+        print("watch interrupted; stream closed cleanly")
+        return
+    finally:
+        response.close()
     print()
     print(f"stream ended: {dash.items_seen} items, "
           f"{dash.wide_seen} wide events")
@@ -677,6 +726,99 @@ def cmd_runs_gauges(args) -> None:
               f"t=[{times[0]:g}, {times[-1]:g}]s ({len(values)} samples)")
 
 
+def cmd_runs_why(args) -> None:
+    from repro.obs.explain import (
+        explain_registry_pair,
+        render_why,
+        why_payload,
+    )
+
+    registry = _registry(args)
+    try:
+        explanation = explain_registry_pair(
+            registry, args.run_a, args.run_b, wide_dir=args.wide_dir,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc).strip("'")) from None
+    if args.json:
+        print(json.dumps(why_payload(explanation), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_why(explanation))
+
+
+# -- SLOs ---------------------------------------------------------------------
+
+
+def cmd_slo_check(args) -> None:
+    import os
+
+    from repro.obs.explain import load_wide_for_run
+    from repro.obs.registry import RunRegistry
+    from repro.obs.slo import (
+        DEFAULT_SLOS,
+        AlertLog,
+        AlertRecord,
+        check_payload,
+        evaluate_record,
+        parse_slos,
+        render_check,
+        violations,
+    )
+
+    registry = RunRegistry(args.registry_dir)
+    slos = parse_slos(args.slo) if args.slo else DEFAULT_SLOS
+    if args.run:
+        records = [_find_record(registry, key) for key in args.run]
+    else:
+        records = registry.records()
+    if not records:
+        raise SystemExit(f"no records to check in {registry.path}")
+    wide_dir = os.path.join(registry.directory, "wide")
+    per_record = []
+    failed = []
+    for record in records:
+        wide_records = load_wide_for_run(wide_dir, record.run_id) or None
+        results = evaluate_record(slos, record, wide_records=wide_records)
+        per_record.append((record.rec_id, results))
+        failed.extend(
+            (record, result) for result in violations(results)
+        )
+    if failed and not args.no_alerts:
+        log = AlertLog(registry.directory)
+        for record, result in failed:
+            log.append(AlertRecord(
+                slo=result.slo.spec(), run=record.rec_id,
+                value=result.value, threshold=result.slo.threshold,
+            ))
+    if args.json:
+        print(json.dumps(check_payload(per_record), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_check(per_record))
+        if failed and not args.no_alerts:
+            print(f"{len(failed)} alert(s) appended to "
+                  f"{AlertLog(registry.directory).path}")
+    if failed:
+        raise SystemExit(1)
+
+
+def cmd_slo_alerts(args) -> None:
+    from repro.obs.slo import AlertLog
+
+    log = AlertLog(args.registry_dir)
+    alerts = log.read()
+    if args.json:
+        print(json.dumps([a.to_json() for a in alerts], indent=2,
+                         sort_keys=True))
+        return
+    if not alerts:
+        print(f"no alerts in {log.path}")
+        return
+    for alert in alerts:
+        print(alert.describe())
+
+
 def cmd_traces(args) -> None:
     results = run_traces(
         seeds=tuple(range(args.seeds)),
@@ -831,6 +973,20 @@ def main(argv=None) -> int:
                             "the HTTP /diff endpoint uses)")
     rdiff.set_defaults(fn=cmd_runs_diff)
 
+    rwhy = rsub.add_parser(
+        "why", help="attribute run B's movement from run A to pipeline "
+                    "phases (needs both runs' wide events)"
+    )
+    rwhy.add_argument("run_a", help="baseline rec id or run id")
+    rwhy.add_argument("run_b", help="regressed rec id or run id")
+    rwhy.add_argument("--wide-dir", metavar="DIR",
+                      help="wide-event JSONL directory "
+                           "(default <registry>/wide)")
+    rwhy.add_argument("--json", action="store_true",
+                      help="emit the attribution as JSON (the same "
+                           "serialization the HTTP explain endpoint uses)")
+    rwhy.set_defaults(fn=cmd_runs_why)
+
     rgauges = rsub.add_parser("gauges", help="render a record's gauge timelines")
     rgauges.add_argument("run", help="rec id or run id")
     rgauges.add_argument("--metric", metavar="NAME",
@@ -839,6 +995,33 @@ def main(argv=None) -> int:
     rgauges.add_argument("--csv", action="store_true",
                          help="emit gauge,t,value CSV instead of sparklines")
     rgauges.set_defaults(fn=cmd_runs_gauges)
+
+    slo = sub.add_parser("slo", help="service-level objectives over runs")
+    slo.add_argument("--registry-dir", metavar="DIR",
+                     help="registry directory (default .repro_runs, or "
+                          "REPRO_RUNS_DIR)")
+    ssub = slo.add_subparsers(dest="slo_command", required=True)
+
+    scheck = ssub.add_parser(
+        "check", help="judge registry records against the SLO set "
+                      "(exit 1 on any violation)"
+    )
+    scheck.add_argument("run", nargs="*",
+                        help="rec/run ids to check (default: every record)")
+    scheck.add_argument("--slo", action="append", metavar="SPEC",
+                        help="SLO spec like 'gain >= 1.2' or "
+                             "'p95(stage_latency) <= 2.0' (repeatable; "
+                             "default: the paper-shape set)")
+    scheck.add_argument("--json", action="store_true",
+                        help="emit results as JSON (the same serialization "
+                             "the HTTP /slo endpoint uses)")
+    scheck.add_argument("--no-alerts", action="store_true",
+                        help="don't append violations to alerts.jsonl")
+    scheck.set_defaults(fn=cmd_slo_check)
+
+    salerts = ssub.add_parser("alerts", help="list the alert log")
+    salerts.add_argument("--json", action="store_true")
+    salerts.set_defaults(fn=cmd_slo_alerts)
 
     serve = sub.add_parser(
         "serve", help="HTTP telemetry service over the run registry"

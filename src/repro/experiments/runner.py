@@ -28,6 +28,7 @@ from repro.obs.flight import (
     InvariantAuditor,
     install_flight_recorder,
 )
+from repro.obs.sketch import SketchRecorder
 from repro.obs.spans import Span, SpanBuilder
 from repro.obs.stream import GaugeFeed, TelemetryHub
 from repro.obs.trace import TraceExporter
@@ -61,8 +62,12 @@ class ExperimentResult:
     sampler: Optional[GaugeSampler] = field(default=None, repr=False)
     #: The invariant auditor, already parity-checked (``audit=True``).
     auditor: Optional[InvariantAuditor] = field(default=None, repr=False)
-    #: Wide-event records emitted live (``wide=``/``hub=`` set).
+    #: Wide-event records emitted live (``wide=``/``hub=``/``sketches=``
+    #: set).
     wide_records: Optional[list[dict]] = field(default=None, repr=False)
+    #: Fixed-memory distribution sketches folded live
+    #: (``sketches=True``); ``.to_json()`` serializes for the registry.
+    sketches: Optional[SketchRecorder] = field(default=None, repr=False)
 
     @property
     def throughput_bps(self) -> float:
@@ -100,6 +105,7 @@ def run_download(
     policy: Optional[Union[str, StagingPolicy]] = None,
     hub: Optional[TelemetryHub] = None,
     wide: Optional[Union[str, IO[str], WideEventWriter]] = None,
+    sketches: bool = False,
 ) -> ExperimentResult:
     """Build a fresh testbed and run one full download.
 
@@ -139,6 +145,13 @@ def run_download(
     a :class:`~repro.obs.wide.WideEventBuilder` and writes one wide
     event per chunk/encounter/gap/handoff as JSONL — byte-identical to
     what ``repro trace wide`` derives from this run's trace offline.
+    ``sketches=True`` attaches a
+    :class:`~repro.obs.sketch.SketchRecorder`: gauge samples (when
+    ``gauges=True``) and wide-event phase latencies fold into
+    fixed-memory mergeable sketches returned on the result — the
+    bounded fleet-scale alternative to full gauge timelines.  Implies
+    a wide-event builder so the phase sketches always populate.
+
     ``hub`` fans the run's live telemetry out to a
     :class:`~repro.obs.stream.TelemetryHub`: gauge samples (when
     ``gauges=True``), wide events, and ``run`` started/finished
@@ -194,6 +207,7 @@ def run_download(
     owns_wide_writer = False
     gauge_feed: Optional[GaugeFeed] = None
     wide_records: Optional[list[dict]] = None
+    recorder: Optional[SketchRecorder] = None
     if instrument or trace_path is not None or gauges or audit:
         collector = MetricsCollector(scenario.sim).attach(scenario.sim.probe.bus)
         if trace_path is not None:
@@ -204,9 +218,13 @@ def run_download(
         profiler = SimProfiler(scenario.sim).install()
     if audit:
         auditor = InvariantAuditor(strict=True).attach(scenario.sim.probe.bus)
-    if wide is not None or hub is not None:
+    if sketches:
+        recorder = SketchRecorder().attach(scenario.sim.probe.bus)
+    if wide is not None or hub is not None or sketches:
         wide_records = []
         sinks = [wide_records.append]
+        if recorder is not None:
+            sinks.append(recorder.feed_wide)
         if wide is not None:
             if isinstance(wide, WideEventWriter):
                 wide_writer = wide
@@ -268,6 +286,8 @@ def run_download(
             gauge_feed.detach()
         if wide_builder is not None:
             wide_builder.detach()
+        if recorder is not None:
+            recorder.detach()
     if wide_builder is not None:
         # Emit the run-summary wide record (post-run, like the live
         # trace's last events) before anything reads the output.
@@ -299,6 +319,7 @@ def run_download(
         sampler=sampler,
         auditor=auditor,
         wide_records=wide_records,
+        sketches=recorder,
     )
 
 

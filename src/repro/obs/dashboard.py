@@ -106,15 +106,18 @@ def _describe_wide(record: dict) -> str:
 class Dashboard:
     """Folds hub items into a renderable terminal frame."""
 
-    def __init__(self, window: int = 48, tail: int = 10) -> None:
+    def __init__(self, window: int = 48, tail: int = 10,
+                 alert_tail: int = 5) -> None:
         #: Samples kept per gauge sparkline.
         self.window = int(window)
         self._series: dict[str, deque] = {}
         self._gauge_last_t: dict[str, float] = {}
         self._tail: deque = deque(maxlen=int(tail))
+        self._alerts: deque = deque(maxlen=int(alert_tail))
         self._runs: dict[str, dict] = {}
         self.items_seen = 0
         self.wide_seen = 0
+        self.alerts_seen = 0
         self.dropped = 0
 
     # -- the fold ----------------------------------------------------------
@@ -134,6 +137,14 @@ class Dashboard:
         elif topic == "run":
             run = payload.get("run", "?")
             self._runs[run] = dict(payload)
+        elif topic == "alert":
+            self.alerts_seen += 1
+            self._alerts.append(
+                f"t={_fmt(payload.get('t')):>9}  "
+                f"{payload.get('run', '?')}: {payload.get('slo', '?')} "
+                f"observed={_fmt(payload.get('value'))} "
+                f"burn={_fmt(payload.get('burn_rate'))}"
+            )
         elif topic == "end":
             self.dropped = payload.get("dropped", self.dropped)
 
@@ -181,10 +192,14 @@ class Dashboard:
             lines.extend(f"  {entry}" for entry in self._tail)
         else:
             lines.append("  (none yet)")
+        if self.alerts_seen:
+            lines.append("")
+            lines.append(f"SLO alerts ({self.alerts_seen} total):")
+            lines.extend(f"  {entry}" for entry in self._alerts)
         lines.append("")
         lines.append(
             f"items={self.items_seen} wide={self.wide_seen} "
-            f"dropped={self.dropped}"
+            f"alerts={self.alerts_seen} dropped={self.dropped}"
         )
         return "\n".join(lines)
 

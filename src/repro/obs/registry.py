@@ -14,6 +14,7 @@ Record schema (one JSON object per line)::
      "kind": "demo", "recorded_at": "...", "git_sha": "...",
      "machine": "linux-x86_64-...", "metrics": {"gain": 1.8, ...},
      "gauges": {"staging.lead_bytes": {"t": [...], "v": [...]}, ...},
+     "sketches": {"wide.fetch_latency": {"kind": "quantile", ...}, ...},
      "meta": {...}}
 
 Forward compatibility mirrors the trace reader: unknown top-level keys
@@ -84,6 +85,10 @@ class RunRecord:
     policy: str = ""
     metrics: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    #: Serialized fixed-memory sketches (see :mod:`repro.obs.sketch`):
+    #: ``{name: sketch.to_json()}``.  Bounded-size distribution
+    #: summaries, unlike ``gauges``' full timelines.
+    sketches: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
     #: Top-level keys written by a newer version, preserved verbatim.
     extra: dict = field(default_factory=dict, repr=False)
@@ -92,7 +97,7 @@ class RunRecord:
     def from_json(cls, payload: dict) -> "RunRecord":
         known = {
             "rec_id", "run_id", "kind", "recorded_at", "git_sha",
-            "machine", "policy", "metrics", "gauges", "meta",
+            "machine", "policy", "metrics", "gauges", "sketches", "meta",
         }
         return cls(
             rec_id=str(payload.get("rec_id", "")),
@@ -104,6 +109,7 @@ class RunRecord:
             policy=str(payload.get("policy", "")),
             metrics=dict(payload.get("metrics", {})),
             gauges=dict(payload.get("gauges", {})),
+            sketches=dict(payload.get("sketches", {})),
             meta=dict(payload.get("meta", {})),
             extra={k: v for k, v in payload.items() if k not in known},
         )
@@ -120,6 +126,7 @@ class RunRecord:
             policy=self.policy,
             metrics=self.metrics,
             gauges=self.gauges,
+            sketches=self.sketches,
             meta=self.meta,
         )
         return payload
@@ -159,6 +166,7 @@ class RunRegistry:
         gauges: Optional[dict] = None,
         meta: Optional[dict] = None,
         policy: str = "",
+        sketches: Optional[dict] = None,
     ) -> RunRecord:
         """Append one record; assigns a unique ``rec_id`` and returns it.
 
@@ -189,6 +197,7 @@ class RunRegistry:
                     policy=policy,
                     metrics=dict(metrics),
                     gauges=dict(gauges or {}),
+                    sketches=dict(sketches or {}),
                     meta=dict(meta or {}),
                 )
                 # Mode "a" writes always land at EOF, even after the
@@ -320,6 +329,7 @@ def record_summary(record: RunRecord) -> dict:
         "policy": record.policy,
         "metrics": record.metrics,
         "gauges": sorted(record.gauges),
+        "sketches": sorted(record.sketches),
         "meta": record.meta,
     }
 
@@ -372,6 +382,8 @@ def record_from_result(result, kind: str = "download") -> tuple[str, dict, dict]
     Gauge timelines come out of the result's collector under the
     ``gauge.<run_id>.`` namespace and are stored stripped of it, as
     ``{name: {"t": [...], "v": [...]}}`` (compact JSONL columns).
+    Serialized sketches (when the run was built with ``sketches=True``)
+    are fetched separately via :func:`sketches_from_result`.
     """
     download = result.download
     metrics = {
@@ -393,3 +405,9 @@ def record_from_result(result, kind: str = "download") -> tuple[str, dict, dict]
             values = [v for _t, v in points]
             gauges[name[len(prefix):]] = {"t": times, "v": values}
     return result.run_id, metrics, gauges
+
+
+def sketches_from_result(result) -> dict:
+    """The result's serialized sketch set (``{}`` when not recorded)."""
+    recorder = getattr(result, "sketches", None)
+    return recorder.to_json() if recorder is not None else {}

@@ -23,12 +23,28 @@ Endpoints (all GET, all JSON unless noted):
     The run's wide-event records, read from the registry's wide-event
     directory (``<registry>/wide/*.jsonl`` — where ``repro demo
     --emit-wide`` writes by default).
+``/runs/<key>/explain?base=<key>``
+    Root-cause attribution of this run's movement from ``base``
+    (:func:`repro.obs.explain.why_payload` — the same serialization
+    as ``repro runs why --json``).  Needs both runs' wide events in
+    the wide-event directory.
 ``/diff?a=<key>&b=<key>[&threshold=<frac>]``
     Metric diff between two records
     (:func:`repro.obs.registry.diff_payload`).  Responds **409** when
     a gain-family metric regressed past the paper-shape threshold, so
     ``curl -f`` (and therefore CI) fails exactly when the paper shape
     broke; 200 otherwise.
+``/slo[?run=<key>&...][&slo=<spec>&...]``
+    SLO check over registry records (:mod:`repro.obs.slo` — the same
+    serialization as ``repro slo check --json``).  ``run`` keys
+    restrict the set (default: every record); ``slo`` specs override
+    the paper-shape default set.  Responds **409** when any SLO is
+    violated, mirroring the ``repro slo check`` exit code.
+
+Malformed input (missing/blank keys, unparseable numbers or SLO
+specs) always yields a **400** with a JSON ``{"error": ...}`` body,
+and unexpected handler failures a JSON **500** — never an HTML
+traceback page.
 ``/live``
     ``text/event-stream`` of hub traffic (SSE).  Each hub item becomes
     one ``event: <topic>`` / ``data: <json>`` frame; idle periods emit
@@ -45,7 +61,6 @@ request gets a thread, so a slow ``/live`` consumer never blocks
 
 from __future__ import annotations
 
-import glob
 import json
 import os
 import threading
@@ -53,6 +68,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs.explain import (
+    explain,
+    load_wide_for_run,
+    why_payload,
+)
 from repro.obs.registry import (
     GAIN_REGRESSION_THRESHOLD,
     RunRegistry,
@@ -60,8 +80,14 @@ from repro.obs.registry import (
     diff_records,
     list_payload,
 )
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    check_payload,
+    evaluate_record,
+    parse_slos,
+    violations,
+)
 from repro.obs.stream import TelemetryHub
-from repro.obs.wide import read_wide
 
 #: Seconds a ``/live`` stream waits for traffic before emitting a
 #: keep-alive comment frame.
@@ -141,7 +167,9 @@ class TelemetryRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
             url = urlparse(self.path)
-            query = parse_qs(url.query)
+            # keep_blank_values: "?metric=" must reach the blank-input
+            # validation (400), not silently vanish from the query.
+            query = parse_qs(url.query, keep_blank_values=True)
             parts = [p for p in url.path.split("/") if p]
             if not parts:
                 self._index()
@@ -155,12 +183,19 @@ class TelemetryRequestHandler(BaseHTTPRequestHandler):
                 self._run_sub(parts[1], parts[2], query)
             elif parts == ["diff"]:
                 self._diff(query)
+            elif parts == ["slo"]:
+                self._slo(query)
             elif parts == ["live"]:
                 self._live()
             else:
                 self._error(404, f"no route for {url.path!r}")
         except (BrokenPipeError, ConnectionResetError):
             pass
+        except Exception as exc:  # noqa: BLE001 - JSON, not a traceback page
+            try:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except (BrokenPipeError, ConnectionResetError):
+                pass
 
     # -- endpoints -----------------------------------------------------------
 
@@ -169,8 +204,8 @@ class TelemetryRequestHandler(BaseHTTPRequestHandler):
             "service": "repro-telemetry",
             "endpoints": [
                 "/runs", "/runs/<key>", "/runs/<key>/gauges",
-                "/runs/<key>/wide", "/diff?a=<key>&b=<key>", "/live",
-                "/healthz",
+                "/runs/<key>/wide", "/runs/<key>/explain?base=<key>",
+                "/diff?a=<key>&b=<key>", "/slo", "/live", "/healthz",
             ],
             "records": len(self.server.registry.records()),
             "live": self.server.hub is not None,
@@ -190,9 +225,19 @@ class TelemetryRequestHandler(BaseHTTPRequestHandler):
             return
         if sub == "gauges":
             metric = query.get("metric", [None])[0]
+            if metric is not None and not metric.strip():
+                self._error(400, "metric filter must be non-empty")
+                return
             series = (
                 record.gauge_series(metric) if metric else record.gauges
             )
+            if metric and not series:
+                have = ", ".join(sorted(record.gauges)) or "none"
+                self._error(
+                    400,
+                    f"no gauge matches {metric!r} (recorded: {have})",
+                )
+                return
             self._send_json({"rec_id": record.rec_id, "gauges": series})
         elif sub == "wide":
             records = self._wide_records(record.run_id)
@@ -201,17 +246,38 @@ class TelemetryRequestHandler(BaseHTTPRequestHandler):
                 "wide_dir": self.server.wide_dir,
                 "records": records,
             })
+        elif sub == "explain":
+            self._explain(record, query)
         else:
             self._error(404, f"no route for /runs/<key>/{sub}")
 
     def _wide_records(self, run_id: str) -> list[dict]:
-        records = []
-        pattern = os.path.join(self.server.wide_dir, "*.jsonl")
-        for path in sorted(glob.glob(pattern)):
-            for record in read_wide(path):
-                if record.get("run") == run_id:
-                    records.append(record)
-        return records
+        return load_wide_for_run(self.server.wide_dir, run_id)
+
+    def _explain(self, record, query: dict) -> None:
+        base_key = query.get("base", [None])[0]
+        if not base_key:
+            self._error(400, "explain needs ?base=<key> (the baseline run)")
+            return
+        base = self._find(base_key)
+        if base is None:
+            self._error(404, f"no registry record matches {base_key!r}")
+            return
+        records_base = self._wide_records(base.run_id)
+        records_b = self._wide_records(record.run_id)
+        for rec, wide in ((base, records_base), (record, records_b)):
+            if not wide:
+                self._error(
+                    404,
+                    f"no wide events for {rec.run_id!r} under "
+                    f"{self.server.wide_dir}",
+                )
+                return
+        self._send_json(why_payload(explain(
+            records_base, records_b,
+            metrics_a=base.metrics, metrics_b=record.metrics,
+            label_a=base.rec_id, label_b=record.rec_id,
+        )))
 
     def _diff(self, query: dict) -> None:
         key_a = query.get("a", [None])[0]
@@ -238,6 +304,37 @@ class TelemetryRequestHandler(BaseHTTPRequestHandler):
         # is the whole CI gate.
         status = 409 if payload["regressions"] else 200
         self._send_json(payload, status=status)
+
+    def _slo(self, query: dict) -> None:
+        specs = [s for s in query.get("slo", []) if s.strip()]
+        try:
+            slos = parse_slos(specs) if specs else DEFAULT_SLOS
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        keys = [k for k in query.get("run", []) if k.strip()]
+        if keys:
+            records = []
+            for key in keys:
+                record = self._find(key)
+                if record is None:
+                    self._error(404, f"no registry record matches {key!r}")
+                    return
+                records.append(record)
+        else:
+            records = self.server.registry.records()
+        per_record = []
+        failing = False
+        for record in records:
+            wide = self._wide_records(record.run_id) or None
+            results = evaluate_record(slos, record, wide_records=wide)
+            per_record.append((record.rec_id, results))
+            failing = failing or bool(violations(results))
+        payload = check_payload(per_record)
+        payload["slos"] = [slo.spec() for slo in slos]
+        # Mirror `repro slo check`'s exit code: `curl -f $URL/slo` is
+        # the CI gate.
+        self._send_json(payload, status=409 if failing else 200)
 
     def _live(self) -> None:
         hub = self.server.hub

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Iterator, Optional
 
 from repro.obs.bus import EventBus, Stamped
@@ -69,6 +70,10 @@ class TelemetrySubscription:
         self.dropped = 0
         #: True once the hub's close sentinel has been consumed.
         self.closed = False
+        #: Set by the hub's close(): the sentinel itself can be lost
+        #: to a full queue, but this flag cannot — the consumer
+        #: notices it as soon as the backlog drains.
+        self._close_flagged = False
 
     # -- producer side (hub only) ------------------------------------------
 
@@ -91,6 +96,8 @@ class TelemetrySubscription:
             item = self._queue.get(timeout=timeout) if timeout is not None \
                 else self._queue.get_nowait()
         except queue.Empty:
+            if self._close_flagged:
+                self.closed = True
             return None
         if item is _CLOSE:
             self.closed = True
@@ -104,6 +111,8 @@ class TelemetrySubscription:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
+                if self._close_flagged:
+                    self.closed = True
                 return items
             if item is _CLOSE:
                 self.closed = True
@@ -170,12 +179,34 @@ class TelemetryHub:
                 sub._offer(item)
 
     def close(self) -> None:
-        """Deliver the close sentinel to every subscriber."""
+        """Deliver the close sentinel to every subscriber.
+
+        The sentinel wakes a blocked consumer immediately; if a
+        subscriber's queue is full the sentinel is lost like any other
+        item, so a flag is set first — the consumer notices it the
+        moment its backlog drains, guaranteeing closure is never
+        missed.
+        """
         with self._lock:
             self.closed = True
             subs = self._subs
         for sub in subs:
+            sub._close_flagged = True
             sub._offer(_CLOSE)
+
+    def wait_closed(self, timeout: float = 3.0) -> bool:
+        """Block until every subscriber detached (True) or ``timeout``.
+
+        :meth:`close` only *signals*; consumers on other threads still
+        need a beat to write their terminal frames (the SSE ``end``
+        event) and unsubscribe.  Shutdown paths call this before
+        letting the process exit so daemon consumer threads aren't
+        killed mid-frame.
+        """
+        deadline = time.monotonic() + timeout
+        while self._subs and time.monotonic() < deadline:
+            time.sleep(0.01)
+        return not self._subs
 
     def stats(self) -> dict:
         """Publish/drop accounting, per subscriber."""

@@ -153,3 +153,241 @@ def test_cli_profile_prints_hot_handlers(capsys):
     assert "Simulator profile [softstage-seed0]" in out
     assert "steps=" in out and "heap pushes=" in out
     assert "process:" in out
+
+
+# ---------------------------------------------------------------------------
+# SLO checks and root-cause attribution (`repro slo`, `repro runs why`)
+# ---------------------------------------------------------------------------
+
+
+def _demo_with_telemetry(tmp_path, capsys):
+    """A 2MB demo recorded with gauges + wide events, output discarded."""
+    assert main([
+        "demo", "--file-mb", "2", "--gauges", "--emit-wide",
+        "--registry-dir", str(tmp_path),
+    ]) == 0
+    capsys.readouterr()
+
+
+def test_cli_slo_check_passes_on_healthy_records(tmp_path, capsys):
+    _demo_with_telemetry(tmp_path, capsys)
+    assert main([
+        "slo", "--registry-dir", str(tmp_path), "check",
+        "--slo", "p95(fetch_latency) <= 1000",
+        "--slo", "chunks_completed >= 1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "all SLOs pass" in out
+    assert "FAIL" not in out
+    # No alert file is written on a green check.
+    assert not (tmp_path / "alerts.jsonl").exists()
+
+
+def test_cli_slo_check_fails_on_injected_gain_collapse(tmp_path, capsys):
+    from repro.obs.registry import RunRegistry
+
+    _demo_with_telemetry(tmp_path, capsys)
+    # Inject a Fig. 6 gain regression: SoftStage barely beats Xftp.
+    RunRegistry(str(tmp_path)).append(
+        "demo-regressed", "demo", {"gain": 0.61},
+    )
+    with pytest.raises(SystemExit) as err:
+        main([
+            "slo", "--registry-dir", str(tmp_path), "check",
+            "demo-regressed", "--slo", "gain >= 1.2",
+        ])
+    assert err.value.code == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "0.61" in out
+    assert "alert(s) appended" in out
+    # The violation landed in the persistent alert log.
+    assert main(["slo", "--registry-dir", str(tmp_path), "alerts"]) == 0
+    out = capsys.readouterr().out
+    assert "gain >= 1.2" in out and "demo-regressed" in out
+
+
+def test_cli_slo_check_json_is_deterministic(tmp_path, capsys):
+    import json
+
+    _demo_with_telemetry(tmp_path, capsys)
+    args = [
+        "slo", "--registry-dir", str(tmp_path), "check",
+        "softstage-seed0", "--slo", "chunks_completed >= 1",
+        "--json",
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+    payload = json.loads(first)
+    assert payload["violations"] == []
+    assert payload["records"][0]["rec_id"].endswith("softstage-seed0")
+
+
+def test_cli_runs_why_ranks_phase_contributors(tmp_path, capsys):
+    import json
+
+    from repro.obs.explain import PHASES
+
+    _demo_with_telemetry(tmp_path, capsys)
+    # Xftp is the slow run; why is it slower than SoftStage?
+    args = [
+        "runs", "--registry-dir", str(tmp_path),
+        "why", "softstage-seed0", "xftp-seed0",
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "why: " in first
+    assert "phase contributors (ranked)" in first
+    assert "largest contributor:" in first
+    # Byte-identical on repeat: attribution is deterministic.
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+    # The machine-readable verdict names a known phase, ranked first.
+    assert main([*args, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    ranked = [c["name"] for c in payload["contributors"]]
+    assert ranked[0] in PHASES
+    deltas = [abs(c["delta"]) for c in payload["contributors"]]
+    assert deltas == sorted(deltas, reverse=True)
+
+
+def test_cli_runs_why_errors_cleanly_without_wide_events(tmp_path, capsys):
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(str(tmp_path))
+    registry.append("a", "demo", {"gain": 1.5})
+    registry.append("b", "demo", {"gain": 1.2})
+    with pytest.raises(SystemExit) as err:
+        main(["runs", "--registry-dir", str(tmp_path),
+              "why", "0001/a", "0002/b"])
+    assert "no wide events" in str(err.value)
+    with pytest.raises(SystemExit) as err:
+        main(["runs", "--registry-dir", str(tmp_path),
+              "why", "bogus", "0002/b"])
+    assert "bogus" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Clean shutdown: `repro serve` / `repro watch` under SIGINT/SIGTERM
+# ---------------------------------------------------------------------------
+
+
+def _spawn_serve(tmp_path, *extra):
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--registry-dir", str(tmp_path), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env,
+    )
+
+
+def _wait_until_serving(proc):
+    """Read stdout until the bound URL appears; return that URL."""
+    import urllib.request
+
+    while True:
+        line = proc.stdout.readline()
+        assert line, "serve exited before binding"
+        if "serving registry" in line:
+            url = line.rsplit(" on ", 1)[1].strip()
+            break
+    # The accept loop is up once /healthz answers.
+    for _ in range(100):
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=1):
+                return url
+        except OSError:
+            import time
+
+            time.sleep(0.05)
+    raise AssertionError("serve never answered /healthz")
+
+
+@pytest.mark.parametrize("signame", ["SIGINT", "SIGTERM"])
+def test_cli_serve_shuts_down_cleanly_on_signal(tmp_path, signame):
+    import signal
+
+    proc = _spawn_serve(tmp_path)
+    try:
+        _wait_until_serving(proc)
+        proc.send_signal(getattr(signal, signame))
+        out, err = proc.communicate(timeout=10)
+    finally:
+        proc.kill()
+    assert proc.returncode == 0
+    assert "shut down cleanly" in out
+    assert "Traceback" not in err
+
+
+def test_cli_serve_demo_signal_closes_the_live_stream(tmp_path):
+    """SIGTERM mid-demo: /live subscribers get the SSE end frame."""
+    import signal
+    import threading
+    import urllib.request
+
+    proc = _spawn_serve(tmp_path, "--demo", "--file-mb", "2")
+    try:
+        url = _wait_until_serving(proc)
+        connected = threading.Event()
+        saw_end = threading.Event()
+
+        def _consume():
+            with urllib.request.urlopen(url + "/live", timeout=10) as live:
+                for raw in live:
+                    if raw.startswith(b"event: hello"):
+                        connected.set()
+                    elif raw.startswith(b"event: end"):
+                        saw_end.set()
+                        return
+
+        consumer = threading.Thread(target=_consume, daemon=True)
+        consumer.start()
+        assert connected.wait(timeout=10), "live stream never connected"
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=15)
+        consumer.join(timeout=10)
+    finally:
+        proc.kill()
+    assert proc.returncode == 0
+    assert "shut down cleanly" in out
+    assert "Traceback" not in err
+    assert saw_end.is_set()
+
+
+def test_cli_watch_interrupt_closes_the_stream_cleanly(
+    monkeypatch, capsys
+):
+    import urllib.request
+
+    from repro.obs.server import sse_format
+
+    class InterruptedStream:
+        """An SSE response whose reader gets a Ctrl-C mid-stream."""
+
+        closed = False
+
+        def __iter__(self):
+            yield from sse_format(
+                "gauge",
+                {"run": "r", "t": 0.0, "gauge": "g", "v": 1.0},
+            ).splitlines(keepends=True)
+            raise KeyboardInterrupt
+
+        def close(self):
+            self.closed = True
+
+    stream = InterruptedStream()
+    monkeypatch.setattr(
+        urllib.request, "urlopen", lambda url: stream
+    )
+    assert main(["watch", "http://example.invalid"]) == 0
+    out = capsys.readouterr().out
+    assert "watch interrupted; stream closed cleanly" in out
+    assert stream.closed

@@ -128,3 +128,135 @@ def test_profile_from_env_reads_jobs(monkeypatch):
     assert BenchProfile.from_env().jobs == 3
     monkeypatch.delenv("REPRO_BENCH_JOBS")
     assert BenchProfile.from_env().jobs == 1
+
+
+# ---------------------------------------------------------------------------
+# Hub forwarding under worker exceptions (no stall, no double-publish)
+# ---------------------------------------------------------------------------
+
+
+def _drain_runs(sub):
+    """The ``run`` payloads a subscription has received, in order."""
+    return [payload for topic, payload in sub.drain() if topic == "run"]
+
+
+def test_hub_receives_one_summary_per_task_in_order():
+    from repro.obs.stream import TelemetryHub
+
+    hub = TelemetryHub()
+    sub = hub.subscribe(maxsize=64)
+    try:
+        tasks = [quick_task("xftp", 0), quick_task("softstage", 0)]
+        summaries = run_tasks(tasks, jobs=1, hub=hub)
+        runs = _drain_runs(sub)
+        assert [r["run"] for r in runs] == [
+            "xftp-seed0", "softstage-seed0",
+        ]
+        assert runs[1]["download_time"] == summaries[1].download_time
+        assert all(r["state"] == "finished" for r in runs)
+    finally:
+        hub.close()
+
+
+def test_mid_stream_task_error_forwards_prefix_then_propagates():
+    """A raise mid-sweep must not stall the hub or drop the prefix."""
+    from repro.obs.stream import TelemetryHub
+
+    hub = TelemetryHub()
+    sub = hub.subscribe(maxsize=64)
+    bad = SweepTask(
+        system="no-such-system",
+        params=MicrobenchParams(file_size=MB),
+        seed=0,
+        segment_scale=8,
+    )
+    try:
+        with pytest.raises(Exception, match="no-such-system"):
+            run_tasks([quick_task(seed=0), bad, quick_task(seed=1)],
+                      jobs=1, hub=hub)
+        runs = _drain_runs(sub)
+        # Exactly the pre-failure prefix, exactly once.
+        assert [r["run"] for r in runs] == ["softstage-seed0"]
+    finally:
+        hub.close()
+
+
+def test_pool_death_mid_stream_does_not_double_publish(monkeypatch):
+    """Summaries streamed before a pool death are not re-published."""
+    from repro.obs.stream import TelemetryHub
+
+    class HalfDeadPool:
+        """Yields the first result, then dies from infrastructure."""
+
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            return False
+
+        def map(self, fn, tasks, chunksize=1):
+            yield fn(tasks[0])
+            raise concurrent.futures.BrokenExecutor("worker died")
+
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", HalfDeadPool)
+    hub = TelemetryHub()
+    sub = hub.subscribe(maxsize=64)
+    try:
+        tasks = [quick_task(seed=0), quick_task(seed=1)]
+        summaries = run_tasks(tasks, jobs=2, hub=hub)
+        assert summaries == [execute_task(t) for t in tasks]
+        runs = _drain_runs(sub)
+        assert [r["run"] for r in runs] == [
+            "softstage-seed0", "softstage-seed1",
+        ]
+    finally:
+        hub.close()
+
+
+# ---------------------------------------------------------------------------
+# Sweep-wide sketches: per-worker fold, parent-side merge
+# ---------------------------------------------------------------------------
+
+
+def test_sketches_ride_the_summary_and_merge_across_tasks():
+    from repro.obs.sketch import load_sketches
+    from repro.experiments.parallel import merge_summary_sketches
+
+    tasks = [
+        SweepTask(
+            system="softstage",
+            params=MicrobenchParams(file_size=QUICK.file_size),
+            seed=seed,
+            segment_scale=QUICK.segment_scale,
+            sketches=True,
+        )
+        for seed in (0, 1)
+    ]
+    summaries = [execute_task(t) for t in tasks]
+    assert all(s.sketches for s in summaries)
+    merged = merge_summary_sketches(summaries)
+    sketches = load_sketches(merged)
+    per_run = [
+        load_sketches(s.sketches)["wide.fetch_latency"] for s in summaries
+    ]
+    assert sketches["wide.fetch_latency"].count == sum(
+        q.count for q in per_run
+    )
+
+
+def test_merge_summary_sketches_skips_runs_without_sketches():
+    from repro.experiments.parallel import merge_summary_sketches
+
+    plain = execute_task(quick_task(seed=0))
+    assert plain.sketches is None
+    assert merge_summary_sketches([plain]) == {}
+
+
+def test_sketches_are_excluded_from_summary_equality():
+    a = RunSummary("softstage", 0, 9.5, 1 * MB, 4, 3, 1, 0, 2, 2)
+    b = RunSummary("softstage", 0, 9.5, 1 * MB, 4, 3, 1, 0, 2, 2,
+                   sketches={"x": {"kind": "stat"}})
+    assert a == b

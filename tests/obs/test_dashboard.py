@@ -119,3 +119,20 @@ def test_run_from_sse_paints_until_end():
     assert dash.items_seen == 2  # hello frames are not items
     assert "staging.lead_bytes" in out.getvalue()
     assert "dropped=0" in out.getvalue()
+
+
+def test_alert_pane_appears_only_once_alerts_arrive():
+    dash = Dashboard(alert_tail=2)
+    assert "SLO alerts" not in dash.render()
+    for t in (3.0, 5.0, 9.0):
+        dash.feed("alert", {
+            "t": t, "run": "demo-seed0", "slo": "gain >= 1.2",
+            "value": 1.1, "burn_rate": 1.0,
+        })
+    frame = dash.render()
+    assert "SLO alerts (3 total):" in frame
+    assert "demo-seed0: gain >= 1.2" in frame
+    assert "observed=1.1" in frame
+    # alert_tail bounds the pane: the t=3 alert scrolled off.
+    assert "t=        5" in frame and "t=        3" not in frame
+    assert "alerts=3" in frame  # footer counter

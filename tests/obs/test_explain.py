@@ -1,0 +1,198 @@
+"""Root-cause attribution: phase profiles, ranking, determinism."""
+
+import pytest
+
+from repro.obs.explain import (
+    Contributor,
+    PhaseProfile,
+    explain,
+    explain_registry_pair,
+    load_wide_for_run,
+    render_why,
+    why_payload,
+)
+
+
+def chunk(source="edge", fetch=1.0, ready_wait=0.5, **over):
+    record = {
+        "kind": "chunk", "run": "r", "source": source,
+        "fetch_latency": fetch, "ready_wait_s": ready_wait,
+        "re_signals": 0, "stage_failures": 0, "stale_responses": 0,
+    }
+    record.update(over)
+    return record
+
+
+def run_summary(t_end=10.0, gap=0.0, masked=0.0, **over):
+    record = {
+        "kind": "run", "run": "r", "t_end": t_end,
+        "gap_time_s": gap, "masked_total_s": masked,
+        "handoffs_completed": 0, "dropped_packets": 0, "network": "edge1",
+    }
+    record.update(over)
+    return record
+
+
+# -- PhaseProfile -------------------------------------------------------------
+
+
+def test_profile_folds_phases_and_counters():
+    profile = PhaseProfile.from_records([
+        chunk(source="edge", fetch=1.0),
+        chunk(source="origin", fetch=4.0, re_signals=2),
+        chunk(source="edge", fetch=2.0, ready_wait=-1.5),
+        run_summary(t_end=20.0, gap=5.0, masked=3.0),
+    ])
+    assert profile.run_id == "r"
+    assert profile.t_end == 20.0
+    assert profile.phases["fetch.edge"] == pytest.approx(3.0)
+    assert profile.phases["fetch.origin"] == pytest.approx(4.0)
+    assert profile.phases["stage_stall"] == pytest.approx(1.5)
+    assert profile.phases["gap.unmasked"] == pytest.approx(2.0)
+    assert profile.counters["chunks"] == 3
+    assert profile.counters["chunks_edge"] == 2
+    assert profile.counters["re_signals"] == 2
+
+
+def test_profile_tolerates_missing_fields():
+    profile = PhaseProfile.from_records([
+        {"kind": "chunk", "source": "origin"},  # no latencies at all
+        {"kind": "run"},
+    ])
+    assert profile.counters["chunks"] == 1
+    assert profile.phases["gap.unmasked"] == 0.0
+
+
+# -- explain ------------------------------------------------------------------
+
+
+def healthy():
+    return [
+        chunk(source="edge", fetch=0.5),
+        chunk(source="edge", fetch=0.5),
+        chunk(source="origin", fetch=2.0),
+        run_summary(t_end=10.0, gap=2.0, masked=2.0),
+    ]
+
+
+def regressed():
+    # The staging pipeline collapsed: chunks shifted to origin, fetch
+    # time ballooned, gaps went unmasked.
+    return [
+        chunk(source="origin", fetch=6.0, ready_wait=-2.0, run="r2"),
+        chunk(source="origin", fetch=6.0, run="r2"),
+        chunk(source="edge", fetch=0.5, run="r2"),
+        run_summary(t_end=25.0, gap=4.0, masked=0.5, run="r2"),
+    ]
+
+
+def test_explain_ranks_the_responsible_phase_first():
+    explanation = explain(healthy(), regressed())
+    assert explanation.run_a == "r" and explanation.run_b == "r2"
+    assert explanation.time_delta == pytest.approx(15.0)
+    top = explanation.contributors[0]
+    # fetch.origin moved +10.0s — by far the largest mover.
+    assert top.name == "fetch.origin"
+    assert top.delta == pytest.approx(10.0)
+    assert top.share == pytest.approx(10.0 / 15.0)
+    assert "fetch.origin" in explanation.verdict
+    mix = {c.name: c.delta for c in explanation.counters}
+    assert mix["chunks_origin"] == 1 and mix["chunks_edge"] == -1
+
+
+def test_explain_ties_break_by_name_for_determinism():
+    records = [chunk(fetch=1.0), run_summary(t_end=5.0)]
+    explanation = explain(records, records)
+    names = [c.name for c in explanation.contributors]
+    assert names == sorted(names)  # all deltas zero → alphabetical
+    assert explanation.time_delta == 0.0
+    assert "no download-time movement" in explanation.verdict
+
+
+def test_render_why_is_deterministic_and_names_the_phase():
+    explanation = explain(healthy(), regressed(),
+                          metrics_a={"gain": 1.5}, metrics_b={"gain": 0.6})
+    text = render_why(explanation)
+    assert text == render_why(explain(
+        healthy(), regressed(),
+        metrics_a={"gain": 1.5}, metrics_b={"gain": 0.6},
+    ))
+    assert "gain: 1.5 -> 0.6" in text
+    assert "fetch.origin" in text.splitlines()[text.splitlines().index(
+        next(line for line in text.splitlines() if "+10.000" in line)
+    )]
+    payload = why_payload(explanation)
+    assert payload["gain_delta"] == pytest.approx(-0.9)
+    assert payload["contributors"][0]["name"] == "fetch.origin"
+
+
+def test_contributor_share_is_none_when_time_flat():
+    records = [chunk(fetch=1.0), run_summary(t_end=5.0)]
+    explanation = explain(records, records)
+    assert all(c.share is None for c in explanation.contributors)
+    assert isinstance(explanation.contributors[0], Contributor)
+
+
+# -- registry + wide-file plumbing -------------------------------------------
+
+
+def write_wide(path, records):
+    from repro.obs.wide import wide_json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(wide_json(record) + "\n")
+
+
+def test_load_wide_for_run_filters_and_sorts(tmp_path):
+    write_wide(tmp_path / "b.jsonl", [chunk(run="x"), run_summary(run="x")])
+    write_wide(tmp_path / "a.jsonl", [chunk(run="y", fetch=9.0)])
+    records = load_wide_for_run(str(tmp_path), "x")
+    assert [r["run"] for r in records] == ["x", "x"]
+    assert load_wide_for_run(str(tmp_path), "nope") == []
+
+
+def test_explain_registry_pair_end_to_end(tmp_path):
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(str(tmp_path))
+    registry.append("r", "demo", {"gain": 1.5})
+    registry.append("r2", "demo", {"gain": 0.6})
+    wide_dir = tmp_path / "wide"
+    wide_dir.mkdir()
+    write_wide(wide_dir / "r.jsonl", healthy())
+    write_wide(wide_dir / "r2.jsonl", regressed())
+    explanation = explain_registry_pair(registry, "0001/r", "r2")
+    assert explanation.contributors[0].name == "fetch.origin"
+    assert explanation.run_a == "0001/r"
+    with pytest.raises(ValueError, match="no wide events"):
+        registry.append("bare", "demo", {})
+        explain_registry_pair(registry, "0001/r", "bare")
+    with pytest.raises(KeyError):
+        explain_registry_pair(registry, "0001/r", "missing")
+
+
+def test_why_is_byte_identical_live_vs_replayed_trace(tmp_path):
+    """Acceptance: the report must not care whether the wide records
+    came from the live run or from replaying its trace offline."""
+    from repro.experiments.params import MicrobenchParams
+    from repro.experiments.runner import run_download
+    from repro.obs.trace import read_trace
+    from repro.obs.wide import derive_wide
+
+    params = MicrobenchParams(file_size=2 * 1024 * 1024)
+    live = {}
+    for seed in (0, 1):
+        trace = tmp_path / f"t{seed}.jsonl"
+        result = run_download(
+            "softstage", params=params, seed=seed,
+            trace_path=str(trace), wide=str(tmp_path / f"w{seed}.jsonl"),
+        )
+        live[seed] = result.wide_records
+    live_report = render_why(explain(live[0], live[1]))
+    replayed = {
+        seed: derive_wide(read_trace(str(tmp_path / f"t{seed}.jsonl")))
+        for seed in (0, 1)
+    }
+    replay_report = render_why(explain(replayed[0], replayed[1]))
+    assert live_report == replay_report

@@ -189,3 +189,110 @@ def test_live_without_a_hub_is_503(tmp_path):
     finally:
         server.shutdown()
         server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Bad input contract: 400 JSON bodies, 500 JSON on unexpected failure
+# ---------------------------------------------------------------------------
+
+
+def test_gauges_rejects_blank_and_unmatched_metric_filters(service):
+    server, _registry, _hub = service
+    status, payload = _get(server, "/runs/softstage-seed0/gauges?metric=")
+    assert status == 400
+    assert "non-empty" in payload["error"]
+    status, payload = _get(
+        server, "/runs/softstage-seed0/gauges?metric=bogus"
+    )
+    assert status == 400
+    assert "bogus" in payload["error"]
+    assert "staging.lead_bytes" in payload["error"]  # names what exists
+
+
+def test_unexpected_handler_failure_is_json_500(service):
+    server, _registry, _hub = service
+
+    class ExplodingRegistry:
+        def records(self):
+            raise RuntimeError("registry exploded")
+
+    server.registry = ExplodingRegistry()
+    status, payload = _get(server, "/slo")
+    assert status == 500
+    assert "RuntimeError" in payload["error"]
+    assert "registry exploded" in payload["error"]
+
+
+# ---------------------------------------------------------------------------
+# /slo: the SLO gate endpoint
+# ---------------------------------------------------------------------------
+
+
+def _quote(spec):
+    import urllib.parse
+
+    return urllib.parse.quote(spec)
+
+
+def test_slo_passes_a_healthy_subset(service):
+    server, _registry, _hub = service
+    status, payload = _get(
+        server, "/slo?run=softstage-seed0&slo=" + _quote("gain >= 1.2")
+    )
+    assert status == 200
+    assert payload["slos"] == ["gain >= 1.2"]
+    assert payload["violations"] == []
+    (row,) = payload["records"]
+    assert row["rec_id"] == "0001/softstage-seed0"
+    (result,) = row["results"]
+    assert result["status"] == "pass" and result["value"] == 1.77
+
+
+def test_slo_gate_is_409_when_any_record_violates(service):
+    server, _registry, _hub = service
+    # The whole registry includes demo-regressed (gain 1.10 < 1.2).
+    status, payload = _get(server, "/slo?slo=" + _quote("gain >= 1.2"))
+    assert status == 409
+    assert any("demo-regressed" in v for v in payload["violations"])
+
+
+def test_slo_validates_specs_and_run_keys(service):
+    server, _registry, _hub = service
+    status, payload = _get(server, "/slo?slo=garbage")
+    assert status == 400
+    assert "garbage" in payload["error"]
+    status, payload = _get(server, "/slo?run=bogus")
+    assert status == 404
+    assert "bogus" in payload["error"]
+
+
+# ---------------------------------------------------------------------------
+# /runs/<key>/explain: root-cause attribution over HTTP
+# ---------------------------------------------------------------------------
+
+
+def test_explain_compares_against_the_base_run(service):
+    server, _registry, _hub = service
+    status, payload = _get(
+        server, "/runs/xftp-seed0/explain?base=softstage-seed0"
+    )
+    assert status == 200
+    assert payload["a"] == "0001/softstage-seed0"
+    assert payload["b"] == "0002/xftp-seed0"
+    assert [c["name"] for c in payload["contributors"]]  # ranked list
+    assert "verdict" in payload
+
+
+def test_explain_validates_base_and_wide_availability(service):
+    server, _registry, _hub = service
+    status, payload = _get(server, "/runs/xftp-seed0/explain")
+    assert status == 400
+    assert "base" in payload["error"]
+    status, payload = _get(server, "/runs/xftp-seed0/explain?base=bogus")
+    assert status == 404
+    # demo-regressed has no wide events on disk.
+    status, payload = _get(
+        server, "/runs/demo-regressed/explain?base=softstage-seed0"
+    )
+    assert status == 404
+    assert "wide events" in payload["error"]

@@ -164,3 +164,32 @@ def test_wide_records_are_identical_with_and_without_a_hub():
     assert plain.wide_records is None
     assert fed.wide_records == baseline.wide_records
     assert fed.wide_records and fed.wide_records[-1]["kind"] == "run"
+
+
+def test_close_is_never_lost_to_a_full_queue():
+    """The close sentinel can be dropped; the close *flag* cannot.
+
+    Regression: a busy demo fills a slow SSE subscriber's queue, the
+    sentinel hits queue.Full and vanishes, and the subscriber never
+    learns the hub closed — so `repro serve` shutdown hangs past its
+    grace period and the terminal frame is lost.
+    """
+    hub = TelemetryHub()
+    sub = hub.subscribe(maxsize=2)
+    for i in range(5):
+        hub.publish("gauge", {"i": i})
+    assert sub.dropped == 3
+    hub.close()  # sentinel lost: the queue is still full
+    assert [p["i"] for _t, p in sub.drain()] == [0, 1]
+    assert sub.closed
+    assert sub.get(timeout=0.01) is None
+
+
+def test_wait_closed_returns_once_subscribers_detach():
+    import threading
+
+    hub = TelemetryHub()
+    sub = hub.subscribe()
+    assert hub.wait_closed(timeout=0.05) is False  # still attached
+    threading.Timer(0.05, sub.close).start()
+    assert hub.wait_closed(timeout=5.0) is True
